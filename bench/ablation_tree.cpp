@@ -1,0 +1,101 @@
+// Ablation (SIII-C/D design choices + SIV-A claim "the Hilbert PDC tree
+// out-performs the PDC tree in all cases" on TPC-DS):
+//   * key type: MDS vs MBR at fixed insertion order,
+//   * insertion order: Hilbert vs geometric at fixed key type,
+//   * split policy: min-overlap cut vs middle cut for Hilbert trees,
+//   * choose policy: least-overlap vs least-enlargement for geometric.
+// Reports ingest rate and per-band query latency for each variant.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/histogram.hpp"
+#include "olap/data_gen.hpp"
+#include "olap/query_gen.hpp"
+#include "olap/mbr.hpp"
+#include "tree/shard_tree.hpp"
+
+namespace {
+
+using namespace volap;
+
+struct Variant {
+  const char* label;
+  std::unique_ptr<Shard> shard;
+};
+
+template <typename Key>
+std::unique_ptr<Shard> custom(const Schema& s, InsertOrder ord,
+                              ChooseHeuristic ch, SplitAlgo sp) {
+  TreeConfig cfg;
+  cfg.order = ord;
+  cfg.choose = ch;
+  cfg.split = sp;
+  return std::make_unique<ShardTree<Key>>(s, ShardKind::kHilbertPdcMds, cfg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace volap::bench;
+  banner("Ablation: key type, insertion order, split and choose policies",
+         "MDS keys + Hilbert order + min-overlap cut (the paper's default) "
+         "should dominate on TPC-DS");
+
+  const Schema schema = Schema::tpcds();
+  const std::size_t n = scaled(120'000);
+  DataGenerator gen(schema, 21);
+  const PointSet items = gen.generate(n);
+  QueryGenerator qgen(schema, 22);
+  const auto bands = qgen.generateBands(items, 20);
+
+  std::vector<Variant> variants;
+  variants.push_back({"hilbert+mds+minovl (paper)",
+                      custom<MdsKey>(schema, InsertOrder::kHilbert,
+                                     ChooseHeuristic::kLeastOverlap,
+                                     SplitAlgo::kMinOverlapCut)});
+  variants.push_back({"hilbert+mds+middle",
+                      custom<MdsKey>(schema, InsertOrder::kHilbert,
+                                     ChooseHeuristic::kLeastOverlap,
+                                     SplitAlgo::kMiddleCut)});
+  variants.push_back({"hilbert+mbr+minovl",
+                      custom<MbrKey>(schema, InsertOrder::kHilbert,
+                                     ChooseHeuristic::kLeastOverlap,
+                                     SplitAlgo::kMinOverlapCut)});
+  variants.push_back({"geom+mds+leastovl",
+                      custom<MdsKey>(schema, InsertOrder::kGeometric,
+                                     ChooseHeuristic::kLeastOverlap,
+                                     SplitAlgo::kQuadratic)});
+  variants.push_back({"geom+mds+leastenl",
+                      custom<MdsKey>(schema, InsertOrder::kGeometric,
+                                     ChooseHeuristic::kLeastEnlargement,
+                                     SplitAlgo::kQuadratic)});
+  variants.push_back({"geom+mbr+leastovl",
+                      custom<MbrKey>(schema, InsertOrder::kGeometric,
+                                     ChooseHeuristic::kLeastOverlap,
+                                     SplitAlgo::kQuadratic)});
+
+  std::printf("%-28s %14s %10s %10s %10s\n", "variant", "ingest_kops",
+              "low_ms", "med_ms", "high_ms");
+  for (auto& v : variants) {
+    const double sec = timeIt([&] {
+      for (std::size_t i = 0; i < items.size(); ++i)
+        v.shard->insert(items.at(i));
+    });
+    double bandMs[3] = {0, 0, 0};
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      if (bands[b].empty()) continue;
+      volap::LatencyHistogram lat;
+      for (const auto& q : bands[b]) {
+        const std::uint64_t t0 = volap::nowNanos();
+        (void)v.shard->query(q.box);
+        lat.record(volap::nowNanos() - t0);
+      }
+      bandMs[b] = lat.meanNanos() / 1e6;
+    }
+    std::printf("%-28s %14.1f %10.3f %10.3f %10.3f\n", v.label,
+                static_cast<double>(n) / sec / 1e3, bandMs[0], bandMs[1],
+                bandMs[2]);
+  }
+  return 0;
+}

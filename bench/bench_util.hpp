@@ -1,0 +1,85 @@
+// Shared helpers for the figure-reproduction harness. Each bench binary
+// regenerates one figure of the paper's evaluation (see DESIGN.md §4): it
+// prints the paper's claim, then the measured rows in a stable
+// tab-separated format so shapes can be compared directly.
+//
+// Scale control: the paper ran 20 EC2 nodes and 10^9 items; this harness
+// runs one process. VOLAP_SCALE (default 1.0) multiplies every workload
+// size, so `VOLAP_SCALE=10 ./fig7_scaleup` approaches paper-sized runs on
+// bigger hardware.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace volap::bench {
+
+inline double scaleFactor() {
+  const char* env = std::getenv("VOLAP_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline std::size_t scaled(std::size_t base) {
+  return static_cast<std::size_t>(static_cast<double>(base) * scaleFactor());
+}
+
+inline void banner(const char* figure, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper: %s\n", claim);
+  std::printf("scale: %.2fx (set VOLAP_SCALE to change)\n", scaleFactor());
+  std::printf("==============================================================\n");
+}
+
+/// Wall-clock a callable, returning seconds.
+template <typename F>
+double timeIt(F&& fn) {
+  const std::uint64_t t0 = nowNanos();
+  fn();
+  return nanosToSeconds(nowNanos() - t0);
+}
+
+/// Render a series as a one-line ASCII sparkline (linear scale, 8 levels),
+/// so curve shapes are visible directly in bench output.
+inline std::string sparkline(const std::vector<double>& values) {
+  static const char* kLevels = " .:-=+*#";
+  if (values.empty()) return "";
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  out.reserve(values.size());
+  for (double v : values) {
+    const double t = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    out.push_back(kLevels[static_cast<int>(t * 7.999)]);
+  }
+  return out;
+}
+
+/// Print labeled sparklines for a family of series sharing an x axis.
+inline void printShapes(
+    const char* title,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series) {
+  std::printf("shape: %s\n", title);
+  for (const auto& [label, values] : series) {
+    double lo = values.empty() ? 0 : values[0], hi = lo;
+    for (double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    std::printf("  %-24s |%s|  min=%.3g max=%.3g\n", label.c_str(),
+                sparkline(values).c_str(), lo, hi);
+  }
+}
+
+}  // namespace volap::bench

@@ -1,0 +1,95 @@
+// Figure 6 — "Load balancing data size per worker as database size N and
+// number of workers p increases" (N ~ p x per-worker items; p = 4..20 in
+// the paper). Load phases alternate with scale-up events: two empty
+// workers join, the min per-worker size drops to zero, and the balancer's
+// migrations close the min/max gap before loading resumes.
+//
+// Output: a timeline of (elapsed, min load, max load, cumulative splits,
+// cumulative migrations) — the red band and purple line of the figure.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "olap/data_gen.hpp"
+#include "volap/volap.hpp"
+
+int main() {
+  using namespace volap;
+  using namespace volap::bench;
+  banner("Figure 6: per-worker data size band during elastic scale-up",
+         "min drops to 0 when workers join; migrations close the gap; "
+         "band rises during load phases");
+
+  const Schema schema = Schema::tpcds();
+  const std::size_t perWorker = scaled(25'000);
+  const unsigned startWorkers = 4;
+  const unsigned endWorkers = 8;
+
+  ClusterOptions opts;
+  opts.servers = 2;
+  opts.workers = startWorkers;
+  opts.initialShardsPerWorker = 2;
+  opts.worker.statsIntervalNanos = 100'000'000;
+  opts.server.syncIntervalNanos = 150'000'000;
+  opts.manager.periodNanos = 120'000'000;
+  opts.manager.maxShardItems = perWorker / 2;
+  opts.manager.minImbalanceItems = perWorker / 10;
+  VolapCluster cluster(schema, opts);
+  auto client = cluster.makeClient("loader", 0, 256);
+  DataGenerator gen(schema, 99);
+
+  const std::uint64_t start = nowNanos();
+  auto sampleRow = [&](const char* phase) {
+    const auto loads = cluster.workerLoads();
+    const auto [mn, mx] = std::minmax_element(loads.begin(), loads.end());
+    std::printf("%10.2f %10llu %10llu %8llu %8llu   %s\n",
+                nanosToSeconds(nowNanos() - start),
+                static_cast<unsigned long long>(*mn),
+                static_cast<unsigned long long>(*mx),
+                static_cast<unsigned long long>(cluster.manager().splitsDone()),
+                static_cast<unsigned long long>(
+                    cluster.manager().migrationsDone()),
+                phase);
+    std::fflush(stdout);
+  };
+
+  std::printf("%10s %10s %10s %8s %8s   %s\n", "t_s", "min_load", "max_load",
+              "splits", "migr", "phase");
+  sampleRow("start");
+
+  for (unsigned p = startWorkers; p <= endWorkers; p += 2) {
+    // Load phase: bring the database up to p * perWorker items.
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(p) * perWorker;
+    while (cluster.totalItems() < target) {
+      PointSet batch(schema.dims());
+      const std::size_t chunk = 5'000;
+      batch.reserve(chunk);
+      for (std::size_t i = 0; i < chunk; ++i) batch.push(gen.next());
+      client->bulkLoad(batch);
+      sampleRow("load");
+    }
+    // Settle: let splits/migrations even the band out.
+    for (int tick = 0; tick < 60; ++tick) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      sampleRow("settle");
+      const auto loads = cluster.workerLoads();
+      const auto [mn, mx] = std::minmax_element(loads.begin(), loads.end());
+      if (*mn * 2 > *mx && cluster.manager().opsInFlight() == 0) break;
+    }
+    if (p == endWorkers) break;
+    // Scale-up event: two empty workers join (the min -> 0 moment).
+    cluster.addWorker();
+    cluster.addWorker();
+    sampleRow("workers+2");
+  }
+  sampleRow("end");
+  std::printf("final: %u workers, %llu items, %llu splits, %llu migrations\n",
+              cluster.workerCount(),
+              static_cast<unsigned long long>(cluster.totalItems()),
+              static_cast<unsigned long long>(cluster.manager().splitsDone()),
+              static_cast<unsigned long long>(
+                  cluster.manager().migrationsDone()));
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 7 — "Query and insert performance with increasing system size"
+// (N and p = N / per-worker grow together; same elastic run as Fig. 6).
+// At each system size, a benchmark phase measures insert throughput /
+// latency and query throughput / latency for low / medium / high coverage.
+//
+// Expected shape: the insert curve stays nearly flat as N and p grow
+// together; query throughput declines gently with size but stays high;
+// latencies stay well below a second.
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include <cstdlib>
+#include "olap/data_gen.hpp"
+#include "olap/query_gen.hpp"
+#include "volap/volap.hpp"
+
+int main() {
+  using namespace volap;
+  using namespace volap::bench;
+  banner("Figure 7: throughput & latency vs database/system size",
+         "insert curve ~flat (~50k/s on 20 EC2 nodes); query throughput "
+         "declines gently; sub-second latency throughout");
+
+  const Schema schema = Schema::tpcds();
+  const std::size_t perWorker = scaled(25'000);
+  const unsigned startWorkers = 2;
+  const unsigned endWorkers = 6;
+  const std::size_t benchInserts = scaled(8'000);
+  const std::size_t benchQueries = 60;
+
+  ClusterOptions opts;
+  opts.servers = 2;
+  opts.workers = startWorkers;
+  opts.worker.statsIntervalNanos = 100'000'000;
+  opts.server.syncIntervalNanos = 150'000'000;
+  opts.manager.periodNanos = 120'000'000;
+  opts.manager.maxShardItems = perWorker / 2;
+  opts.manager.minImbalanceItems = perWorker / 10;
+  VolapCluster cluster(schema, opts);
+  auto client = cluster.makeClient("bench", 0, 256);
+  DataGenOptions dataOpts;
+  dataOpts.zipfSkew = 1.1;
+  DataGenerator gen(schema, 4711, dataOpts);
+  QueryGenerator qgen(schema, 4712);
+  const PointSet sample = gen.generate(20'000);
+  const auto bands = qgen.generateBands(sample, benchQueries);
+
+  std::printf("%10s %4s %-10s %16s %14s\n", "size", "p", "series",
+              "kops_per_sec", "avg_lat_ms");
+  for (unsigned p = startWorkers; p <= endWorkers; p += 2) {
+    const std::uint64_t target = static_cast<std::uint64_t>(p) * perWorker;
+    while (cluster.totalItems() < target) {
+      PointSet batch(schema.dims());
+      batch.reserve(10'000);
+      for (int i = 0; i < 10'000; ++i) batch.push(gen.next());
+      client->bulkLoad(batch);
+    }
+    // Let the balancer settle before benchmarking (discrete phases, SIV-B).
+    for (int tick = 0; tick < 50; ++tick) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (cluster.manager().opsInFlight() == 0 && tick > 5) break;
+    }
+    const std::uint64_t size = cluster.totalItems();
+
+    // Insert benchmark (pipelined stream).
+    client->resetStats();
+    const double insSec = timeIt([&] {
+      for (std::size_t i = 0; i < benchInserts; ++i)
+        client->insertAsync(gen.next());
+      client->drain();
+    });
+    std::printf("%10llu %4u %-10s %16.1f %14.3f\n",
+                static_cast<unsigned long long>(size), p, "inserts",
+                static_cast<double>(benchInserts) / insSec / 1e3,
+                client->insertLatency().meanNanos() / 1e6);
+    std::fflush(stdout);
+
+    // Query benchmarks per coverage band.
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      if (bands[b].empty()) continue;
+      client->resetStats();
+      const double qSec = timeIt([&] {
+        for (const auto& q : bands[b]) client->queryAsync(q.box);
+        client->drain();
+      });
+      std::printf("%10llu %4u %-10s %16.1f %14.3f\n",
+                  static_cast<unsigned long long>(size), p,
+                  coverageBandName(static_cast<CoverageBand>(b)),
+                  static_cast<double>(bands[b].size()) / qSec / 1e3,
+                  client->queryLatency().meanNanos() / 1e6);
+      std::fflush(stdout);
+    }
+    if (p < endWorkers) {
+      cluster.addWorker();
+      cluster.addWorker();
+    }
+  }
+  return 0;
+}

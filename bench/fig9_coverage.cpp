@@ -1,0 +1,121 @@
+// Figure 9 — "Effect of coverage on query performance" (N fixed, p=20 in
+// the paper): (a) per-query time vs coverage; (b) number of shards
+// searched vs coverage.
+//
+// Expected shape: most queries are fast at every coverage with a few slow
+// outliers at LOW coverage (deep traversals when directory nodes don't
+// precisely cover small regions); shards searched grows ~linearly with
+// coverage, with outliers near 50% where queries straddle many shard
+// boundaries.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "olap/data_gen.hpp"
+#include "olap/query_gen.hpp"
+#include "volap/volap.hpp"
+
+int main() {
+  using namespace volap;
+  using namespace volap::bench;
+  banner("Figure 9: per-query time and shards searched vs coverage",
+         "query time mostly flat with low-coverage outliers; searched "
+         "shards ~linear in coverage with outliers near 50%");
+
+  const Schema schema = Schema::tpcds();
+  const std::size_t dbSize = scaled(150'000);
+  const std::size_t queryCount = scaled(600);
+
+  ClusterOptions opts;
+  opts.servers = 2;
+  opts.workers = 5;
+  opts.manager.maxShardItems = dbSize / 36;  // plenty of shards to search
+  VolapCluster cluster(schema, opts);
+  auto client = cluster.makeClient("cov", 0, 64);
+  DataGenOptions dataOpts;
+  dataOpts.zipfSkew = 1.1;
+  dataOpts.clusters = 200;
+  dataOpts.clusterSpread = 0.15;
+  DataGenerator gen(schema, 17, dataOpts);
+  QueryGenerator qgen(schema, 18);
+  const PointSet sample = gen.generate(20'000);
+
+  while (cluster.totalItems() < dbSize) {
+    PointSet batch(schema.dims());
+    batch.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i) batch.push(gen.next());
+    client->bulkLoad(batch);
+  }
+  // Let splits finish so the shard count is stable (the figure's point is
+  // the relationship with the number of shards searched).
+  std::uint64_t lastSplits = ~0ull;
+  for (int tick = 0; tick < 300; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::uint64_t splits = cluster.manager().splitsDone();
+    if (tick > 20 && cluster.manager().opsInFlight() == 0 &&
+        splits == lastSplits)
+      break;
+    lastSplits = splits;
+  }
+  std::printf("database: %llu items in %zu shards\n",
+              static_cast<unsigned long long>(cluster.totalItems()),
+              cluster.server(0).knownShards());
+
+  // Individual query measurements across the coverage spectrum.
+  struct Obs {
+    double coverage;
+    double ms;
+    std::uint32_t searched;
+  };
+  std::vector<Obs> obs;
+  const std::uint64_t dbCount = cluster.totalItems();
+  std::size_t made = 0;
+  for (std::size_t attempt = 0; attempt < queryCount * 6 && made < queryCount;
+       ++attempt) {
+    // Mostly anchored random queries; every tenth is the full database so
+    // the 100% end of the coverage axis is populated.
+    const QueryBox q =
+        attempt % 10 == 9 ? QueryBox(schema) : qgen.random(sample);
+    const std::uint64_t t0 = nowNanos();
+    const QueryReply r = client->query(q);
+    const double ms = (nowNanos() - t0) / 1e6;
+    if (r.agg.count == 0) continue;
+    obs.push_back({static_cast<double>(r.agg.count) /
+                       static_cast<double>(dbCount),
+                   ms, r.shardsSearched});
+    ++made;
+  }
+
+  // Fig 9a/9b as decile rows (the paper shows heat maps; deciles expose
+  // the same shape in text).
+  std::printf("\n%-12s %8s %12s %12s %12s %14s %14s\n", "coverage", "n",
+              "p50_ms", "p95_ms", "max_ms", "avg_searched", "max_searched");
+  for (int decile = 0; decile < 10; ++decile) {
+    const double lo = decile / 10.0, hi = (decile + 1) / 10.0;
+    std::vector<double> times;
+    std::uint64_t searchedSum = 0;
+    std::uint32_t searchedMax = 0;
+    for (const auto& o : obs) {
+      // The last decile is closed above so 100% coverage is included.
+      if (o.coverage < lo || (decile < 9 ? o.coverage >= hi
+                                         : o.coverage > hi))
+        continue;
+      times.push_back(o.ms);
+      searchedSum += o.searched;
+      searchedMax = std::max(searchedMax, o.searched);
+    }
+    if (times.empty()) continue;
+    std::sort(times.begin(), times.end());
+    std::printf("%4.0f%%-%-4.0f%% %8zu %12.3f %12.3f %12.3f %14.1f %14u\n",
+                lo * 100, hi * 100, times.size(),
+                times[times.size() / 2],
+                times[times.size() * 95 / 100],
+                times.back(),
+                static_cast<double>(searchedSum) /
+                    static_cast<double>(times.size()),
+                searchedMax);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Headline numbers (SI / SIV-C): "capable of bulk ingesting data at over
+// 400 thousand items per second, and processing streams of interspersed
+// insertions and aggregate queries at a rate of approximately 50 thousand
+// insertions and 20 thousand aggregate queries per second".
+//
+// Measures (1) raw Hilbert PDC tree bulk load vs point insert on one
+// shard, (2) end-to-end cluster bulk ingestion, and (3) a mixed 70/30
+// insert/query stream — the three headline paths.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "olap/data_gen.hpp"
+#include "olap/query_gen.hpp"
+#include "tree/shard.hpp"
+#include "volap/volap.hpp"
+
+int main() {
+  using namespace volap;
+  using namespace volap::bench;
+  banner("Headline: bulk ingest, point insert, and mixed-stream rates",
+         ">400k items/s bulk; ~50k inserts/s + ~20k queries/s mixed "
+         "(20 EC2 workers in the paper; one process here)");
+
+  const Schema schema = Schema::tpcds();
+  const std::size_t n = scaled(300'000);
+  DataGenerator gen(schema, 3);
+  const PointSet items = gen.generate(n);
+
+  // 1. Raw shard: bulk load vs point insert.
+  {
+    auto bulk = makeShard(ShardKind::kHilbertPdcMds, schema);
+    const double bulkSec = timeIt([&] { bulk->bulkLoad(items); });
+    auto point = makeShard(ShardKind::kHilbertPdcMds, schema);
+    const double pointSec = timeIt([&] {
+      for (std::size_t i = 0; i < items.size(); ++i)
+        point->insert(items.at(i));
+    });
+    std::printf("%-28s %12.1f kitems/s\n", "shard bulk load",
+                static_cast<double>(n) / bulkSec / 1e3);
+    std::printf("%-28s %12.1f kitems/s  (bulk is %.1fx faster)\n",
+                "shard point insert",
+                static_cast<double>(n) / pointSec / 1e3,
+                pointSec / bulkSec);
+  }
+
+  // 2. End-to-end cluster bulk ingestion.
+  ClusterOptions opts;
+  opts.servers = 2;
+  opts.workers = 4;
+  opts.manager.maxShardItems = n;  // keep the run split-free
+  VolapCluster cluster(schema, opts);
+  auto client = cluster.makeClient("ingest", 0, 256);
+  {
+    const double sec = timeIt([&] {
+      const std::size_t chunk = 20'000;
+      for (std::size_t at = 0; at < n; at += chunk) {
+        PointSet batch(schema.dims());
+        batch.reserve(chunk);
+        for (std::size_t i = at; i < std::min(n, at + chunk); ++i)
+          batch.push(items.at(i));
+        client->bulkLoad(batch);
+      }
+    });
+    std::printf("%-28s %12.1f kitems/s\n", "cluster bulk ingest",
+                static_cast<double>(n) / sec / 1e3);
+  }
+
+  // 3. Mixed stream: ~70% inserts / 30% aggregate queries.
+  {
+    QueryGenerator qgen(schema, 4);
+    const PointSet sample = gen.generate(10'000);
+    std::vector<QueryBox> qs;
+    for (int i = 0; i < 200; ++i) qs.push_back(qgen.random(sample));
+    DataGenerator mixGen(schema, 9);
+    Rng rng(10);
+    // One process serves both roles here; size the stream so the run stays
+    // in seconds while the rates remain stable.
+    const std::size_t ops = scaled(2'500);
+    std::size_t ins = 0, qry = 0;
+    const double sec = timeIt([&] {
+      for (std::size_t i = 0; i < ops; ++i) {
+        if (rng.below(100) < 70) {
+          client->insertAsync(mixGen.next());
+          ++ins;
+        } else {
+          client->queryAsync(qs[qry % qs.size()]);
+          ++qry;
+        }
+      }
+      client->drain();
+    });
+    std::printf("%-28s %12.1f kinserts/s + %.1f kqueries/s\n",
+                "mixed stream (70/30)",
+                static_cast<double>(ins) / sec / 1e3,
+                static_cast<double>(qry) / sec / 1e3);
+  }
+  return 0;
+}

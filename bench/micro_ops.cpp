@@ -1,0 +1,121 @@
+// Google-benchmark microbenchmarks for the primitive operations underlying
+// every figure: compact Hilbert indexing, MDS/MBR key maintenance, tree
+// insert/query per variant, and shard (de)serialization.
+#include <benchmark/benchmark.h>
+
+#include "olap/data_gen.hpp"
+#include "olap/mbr.hpp"
+#include "olap/query_gen.hpp"
+#include "tree/shard.hpp"
+
+namespace volap {
+namespace {
+
+const Schema& tpcds() {
+  static const Schema schema = Schema::tpcds();
+  return schema;
+}
+
+void BM_CompactHilbertIndex(benchmark::State& state) {
+  const Schema& schema = tpcds();
+  DataGenerator gen(schema, 1);
+  const PointSet items = gen.generate(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        schema.hilbertKey(items.at(i++ & 1023).coords));
+  }
+}
+BENCHMARK(BM_CompactHilbertIndex);
+
+void BM_CompactHilbertIndex64Dims(benchmark::State& state) {
+  const Schema schema = Schema::synthetic(64, 2, 8);
+  DataGenerator gen(schema, 1);
+  const PointSet items = gen.generate(256);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        schema.hilbertKey(items.at(i++ & 255).coords));
+  }
+}
+BENCHMARK(BM_CompactHilbertIndex64Dims);
+
+void BM_MdsExpand(benchmark::State& state) {
+  const Schema& schema = tpcds();
+  DataGenerator gen(schema, 2);
+  MdsKey key = MdsKey::forPoint(schema, gen.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.expand(schema, gen.next()));
+  }
+}
+BENCHMARK(BM_MdsExpand);
+
+void BM_MbrExpand(benchmark::State& state) {
+  const Schema& schema = tpcds();
+  DataGenerator gen(schema, 2);
+  MbrKey key = MbrKey::forPoint(schema, gen.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.expand(schema, gen.next()));
+  }
+}
+BENCHMARK(BM_MbrExpand);
+
+void treeInsert(benchmark::State& state, ShardKind kind) {
+  const Schema& schema = tpcds();
+  auto shard = makeShard(kind, schema);
+  DataGenerator gen(schema, 3);
+  for (auto _ : state) shard->insert(gen.next());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+void BM_InsertHilbertPdc(benchmark::State& s) {
+  treeInsert(s, ShardKind::kHilbertPdcMds);
+}
+void BM_InsertPdc(benchmark::State& s) { treeInsert(s, ShardKind::kPdcMds); }
+void BM_InsertRTree(benchmark::State& s) { treeInsert(s, ShardKind::kRTree); }
+BENCHMARK(BM_InsertHilbertPdc);
+BENCHMARK(BM_InsertPdc);
+BENCHMARK(BM_InsertRTree);
+
+void BM_QueryHilbertPdc(benchmark::State& state) {
+  const Schema& schema = tpcds();
+  auto shard = makeShard(ShardKind::kHilbertPdcMds, schema);
+  DataGenerator gen(schema, 4);
+  const PointSet items = gen.generate(50'000);
+  shard->bulkLoad(items);
+  QueryGenerator qgen(schema, 5);
+  std::vector<QueryBox> qs;
+  for (int i = 0; i < 64; ++i) qs.push_back(qgen.random(items));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shard->query(qs[i++ & 63]));
+  }
+}
+BENCHMARK(BM_QueryHilbertPdc);
+
+void BM_ShardSerialize(benchmark::State& state) {
+  const Schema& schema = tpcds();
+  auto shard = makeShard(ShardKind::kHilbertPdcMds, schema);
+  DataGenerator gen(schema, 6);
+  shard->bulkLoad(gen.generate(20'000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shard->serializeShard());
+  }
+}
+BENCHMARK(BM_ShardSerialize);
+
+void BM_ShardDeserialize(benchmark::State& state) {
+  const Schema& schema = tpcds();
+  auto shard = makeShard(ShardKind::kHilbertPdcMds, schema);
+  DataGenerator gen(schema, 7);
+  shard->bulkLoad(gen.generate(20'000));
+  const Blob blob = shard->serializeShard();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deserializeShard(schema, blob));
+  }
+}
+BENCHMARK(BM_ShardDeserialize);
+
+}  // namespace
+}  // namespace volap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// Interactive VOLAP shell: a small operator console over the public API.
+// Reads commands from stdin (or a script piped in), so it doubles as the
+// simplest way to poke at a running cluster.
+//
+//   ./examples/volap_repl
+//   > load 50000                 # ingest synthetic TPC-DS items
+//   > q Store=2 & Date=3/7       # aggregate a hierarchy region
+//   > q *                        # aggregate the whole database
+//   > schema                     # list dimensions/levels
+//   > stats                      # cluster + session statistics
+//   > workers                    # per-worker load
+//   > addworker                  # elastic scale-up
+//   > help / quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "olap/data_gen.hpp"
+#include "olap/query_parse.hpp"
+#include "volap/volap.hpp"
+
+namespace {
+
+using namespace volap;
+
+void printSchema(const Schema& schema) {
+  for (unsigned j = 0; j < schema.dims(); ++j) {
+    const Hierarchy& h = schema.dim(j);
+    std::printf("  %-14s", h.name().c_str());
+    for (unsigned l = 1; l <= h.depth(); ++l)
+      std::printf(" %s(%llu)%s", h.level(l).name.c_str(),
+                  static_cast<unsigned long long>(h.level(l).fanout),
+                  l < h.depth() ? " ->" : "");
+    std::printf("\n");
+  }
+}
+
+void printHelp() {
+  std::printf(
+      "commands:\n"
+      "  load <n>          ingest n synthetic TPC-DS items (bulk)\n"
+      "  insert <n>        ingest n items one by one (point inserts)\n"
+      "  q <query>         aggregate query, e.g. 'q Store=2 & Date=3/7'\n"
+      "  schema            show dimension hierarchies\n"
+      "  stats             session + server statistics\n"
+      "  workers           per-worker item counts\n"
+      "  addworker         add an empty worker (the balancer fills it)\n"
+      "  help              this text\n"
+      "  quit              exit\n");
+}
+
+}  // namespace
+
+int main() {
+  const Schema schema = Schema::tpcds();
+  ClusterOptions opts;
+  opts.servers = 2;
+  opts.workers = 4;
+  opts.server.syncIntervalNanos = 500'000'000;
+  VolapCluster cluster(schema, opts);
+  auto client = cluster.makeClient("repl");
+  DataGenerator gen(schema, 12345);
+
+  std::printf("VOLAP shell — %u servers, %u workers. 'help' for commands.\n",
+              cluster.serverCount(), cluster.workerCount());
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    try {
+      if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else if (cmd == "help") {
+        printHelp();
+      } else if (cmd == "schema") {
+        printSchema(schema);
+      } else if (cmd == "load" || cmd == "insert") {
+        std::size_t n = 10'000;
+        in >> n;
+        if (cmd == "load") {
+          PointSet batch(schema.dims());
+          batch.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) batch.push(gen.next());
+          const auto applied = client->bulkLoad(batch);
+          std::printf("bulk loaded %llu items\n",
+                      static_cast<unsigned long long>(applied));
+        } else {
+          for (std::size_t i = 0; i < n; ++i) client->insertAsync(gen.next());
+          client->drain();
+          std::printf("inserted %zu items\n", n);
+        }
+      } else if (cmd == "q") {
+        std::string rest;
+        std::getline(in, rest);
+        const QueryBox box = parseQuery(schema, rest);
+        const QueryReply r = client->query(box);
+        std::printf("%s\n", formatQuery(schema, box).c_str());
+        std::printf(
+            "  count=%llu sum=%.2f avg=%.2f min=%.2f max=%.2f "
+            "(searched %u shards on %u workers)\n",
+            static_cast<unsigned long long>(r.agg.count), r.agg.sum,
+            r.agg.avg(), r.agg.count ? r.agg.min : 0.0,
+            r.agg.count ? r.agg.max : 0.0, r.shardsSearched, r.workersAsked);
+      } else if (cmd == "stats") {
+        const Server::Stats s = cluster.server(0).stats();
+        std::printf(
+            "session: %llu inserts (p50 %.1fus), %llu queries (p50 %.1fus)\n",
+            static_cast<unsigned long long>(client->insertsAcked()),
+            client->insertLatency().quantileNanos(0.5) / 1e3,
+            static_cast<unsigned long long>(client->queriesAnswered()),
+            client->queryLatency().quantileNanos(0.5) / 1e3);
+        std::printf(
+            "server0: routed %llu inserts / %llu queries, %llu box "
+            "expansions, %llu sync pushes, %zu shards known\n",
+            static_cast<unsigned long long>(s.insertsRouted),
+            static_cast<unsigned long long>(s.queriesRouted),
+            static_cast<unsigned long long>(s.boxExpansions),
+            static_cast<unsigned long long>(s.syncPushes),
+            cluster.server(0).knownShards());
+        std::printf("manager: %llu splits, %llu migrations\n",
+                    static_cast<unsigned long long>(
+                        cluster.manager().splitsDone()),
+                    static_cast<unsigned long long>(
+                        cluster.manager().migrationsDone()));
+      } else if (cmd == "workers") {
+        const auto loads = cluster.workerLoads();
+        for (std::size_t w = 0; w < loads.size(); ++w)
+          std::printf("  worker %zu: %llu items\n", w,
+                      static_cast<unsigned long long>(loads[w]));
+      } else if (cmd == "addworker") {
+        const WorkerId id = cluster.addWorker();
+        std::printf("worker %u joined (empty; balancer will fill it)\n", id);
+      } else {
+        std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+      }
+    } catch (const QueryParseError& e) {
+      std::printf("parse error: %s\n", e.what());
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}

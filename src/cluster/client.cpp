@@ -1,0 +1,118 @@
+#include "cluster/client.hpp"
+
+#include "common/clock.hpp"
+
+namespace volap {
+
+Client::Client(Fabric& fabric, std::string name, std::string serverEp,
+               unsigned maxOutstanding)
+    : fabric_(fabric),
+      serverEp_(std::move(serverEp)),
+      inbox_(fabric.bind("client/" + name)),
+      maxOutstanding_(maxOutstanding == 0 ? 1 : maxOutstanding) {}
+
+void Client::insertAsync(PointRef p) {
+  if (outstanding_.size() >= maxOutstanding_)
+    pump(maxOutstanding_ - 1, 0, nullptr);
+  ByteWriter w;
+  writePoint(w, p);
+  const std::uint64_t corr = nextCorr_++;
+  // Timestamp BEFORE the send: on a loaded box the scheduler can run the
+  // whole server/worker round trip before send() returns.
+  const std::uint64_t t0 = nowNanos();
+  if (fabric_.send(serverEp_, makeMessage(Op::kInsert, corr, inbox_->name(),
+                                          w.take()))) {
+    outstanding_.emplace(corr, Outstanding{Op::kInsert, t0});
+  }
+}
+
+void Client::queryAsync(const QueryBox& q) {
+  if (outstanding_.size() >= maxOutstanding_)
+    pump(maxOutstanding_ - 1, 0, nullptr);
+  ByteWriter w;
+  q.serialize(w);
+  const std::uint64_t corr = nextCorr_++;
+  const std::uint64_t t0 = nowNanos();
+  if (fabric_.send(serverEp_, makeMessage(Op::kQuery, corr, inbox_->name(),
+                                          w.take()))) {
+    outstanding_.emplace(corr, Outstanding{Op::kQuery, t0});
+  }
+}
+
+void Client::insert(PointRef p) {
+  insertAsync(p);
+  pump(0, nextCorr_ - 1, nullptr);
+}
+
+QueryReply Client::query(const QueryBox& q) {
+  queryAsync(q);
+  const std::uint64_t corr = nextCorr_ - 1;
+  if (outstanding_.count(corr) == 0) return QueryReply{};  // send failed
+  Message reply;
+  if (!pump(0, corr, &reply)) return QueryReply{};
+  return QueryReply::decode(reply.payload);
+}
+
+std::uint64_t Client::bulkLoad(const PointSet& items) {
+  drain();
+  ByteWriter w;
+  items.serialize(w);
+  const std::uint64_t corr = nextCorr_++;
+  const std::uint64_t t0 = nowNanos();
+  if (!fabric_.send(serverEp_, makeMessage(Op::kBulk, corr, inbox_->name(),
+                                           w.take())))
+    return 0;
+  outstanding_.emplace(corr, Outstanding{Op::kBulk, t0});
+  Message reply;
+  if (!pump(0, corr, &reply)) return 0;
+  ByteReader r(reply.payload);
+  return r.varint();
+}
+
+void Client::drain() { pump(0, 0, nullptr); }
+
+bool Client::pump(std::size_t target, std::uint64_t waitCorr, Message* out) {
+  while (outstanding_.size() > target ||
+         (waitCorr != 0 && outstanding_.count(waitCorr) != 0)) {
+    auto m = inbox_->recv();
+    if (!m) {
+      outstanding_.clear();  // fabric shut down under us
+      return false;
+    }
+    auto it = outstanding_.find(m->corr);
+    if (it == outstanding_.end()) continue;
+    account(*m, it->second);
+    const bool wanted = waitCorr != 0 && m->corr == waitCorr;
+    outstanding_.erase(it);
+    if (wanted) {
+      if (out != nullptr) *out = std::move(*m);
+      if (outstanding_.size() <= target) return true;
+    }
+  }
+  return true;
+}
+
+void Client::account(const Message& m, const Outstanding& o) {
+  const std::uint64_t latency = nowNanos() - o.startedNanos;
+  switch (o.op) {
+    case Op::kInsert:
+      insertLat_.record(latency);
+      ++insertsAcked_;
+      break;
+    case Op::kQuery: {
+      queryLat_.record(latency);
+      ++queriesAnswered_;
+      try {
+        const QueryReply reply = QueryReply::decode(m.payload);
+        shardsSearched_ += reply.shardsSearched;
+        lastAgg_ = reply.agg;
+      } catch (const DeserializeError&) {
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace volap

@@ -1,0 +1,87 @@
+// Client session (paper SIII-A: "each user session is attached to one of
+// the server nodes"). Supports synchronous calls and a pipelined
+// asynchronous mode with a bounded window, which is how the throughput
+// experiments drive the system (many requests in flight per session).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/protocol.hpp"
+#include "common/histogram.hpp"
+#include "net/fabric.hpp"
+
+namespace volap {
+
+class Client {
+ public:
+  Client(Fabric& fabric, std::string name, std::string serverEp,
+         unsigned maxOutstanding = 64);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  const std::string& serverEndpointName() const { return serverEp_; }
+
+  /// Pipelined insert: blocks only when the window is full.
+  void insertAsync(PointRef p);
+
+  /// Pipelined aggregate query; the result is folded into the stats below.
+  void queryAsync(const QueryBox& q);
+
+  /// Synchronous insert (await the ack; measures full path latency).
+  void insert(PointRef p);
+
+  /// Synchronous aggregate query.
+  QueryReply query(const QueryBox& q);
+
+  /// Synchronous bulk ingestion of a batch.
+  std::uint64_t bulkLoad(const PointSet& items);
+
+  /// Wait for every outstanding async operation.
+  void drain();
+
+  const LatencyHistogram& insertLatency() const { return insertLat_; }
+  const LatencyHistogram& queryLatency() const { return queryLat_; }
+  std::uint64_t insertsAcked() const { return insertsAcked_; }
+  std::uint64_t queriesAnswered() const { return queriesAnswered_; }
+  std::uint64_t shardsSearchedTotal() const { return shardsSearched_; }
+  const Aggregate& lastQueryResult() const { return lastAgg_; }
+
+  void resetStats() {
+    insertLat_.reset();
+    queryLat_.reset();
+    insertsAcked_ = 0;
+    queriesAnswered_ = 0;
+    shardsSearched_ = 0;
+  }
+
+ private:
+  struct Outstanding {
+    Op op;
+    std::uint64_t startedNanos;
+  };
+
+  /// Process replies until the window shrinks below `target` (or a specific
+  /// correlation id completes when `waitCorr` != 0).
+  bool pump(std::size_t target, std::uint64_t waitCorr, Message* out);
+  void account(const Message& m, const Outstanding& o);
+
+  Fabric& fabric_;
+  std::string serverEp_;
+  std::shared_ptr<Mailbox> inbox_;
+  unsigned maxOutstanding_;
+  std::uint64_t nextCorr_ = 1;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+
+  LatencyHistogram insertLat_;
+  LatencyHistogram queryLat_;
+  std::uint64_t insertsAcked_ = 0;
+  std::uint64_t queriesAnswered_ = 0;
+  std::uint64_t shardsSearched_ = 0;
+  Aggregate lastAgg_;
+};
+
+}  // namespace volap

@@ -1,0 +1,214 @@
+#include "cluster/manager.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/clock.hpp"
+
+namespace volap {
+
+Manager::Manager(Fabric& fabric, const Schema& schema, ManagerConfig cfg,
+                 ShardId firstShardId)
+    : fabric_(fabric),
+      schema_(schema),
+      cfg_(cfg),
+      inbox_(fabric.bind(managerEndpoint())),
+      zk_(fabric, managerEndpoint()),
+      nextShardId_(firstShardId),
+      enabled_(cfg.enabled) {
+  thread_ = std::thread([this] { serve(); });
+}
+
+Manager::~Manager() { stop(); }
+
+void Manager::stop() {
+  inbox_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Manager::setEnabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Manager::serve() {
+  std::uint64_t nextTick = nowNanos() + cfg_.periodNanos;
+  while (true) {
+    const std::uint64_t now = nowNanos();
+    if (now >= nextTick) {
+      if (enabled_.load(std::memory_order_relaxed) &&
+          inFlight_.load(std::memory_order_relaxed) <
+              cfg_.maxConcurrentOps) {
+        analyze();
+      }
+      nextTick = now + cfg_.periodNanos;
+    }
+    auto m = inbox_->recvFor(
+        std::chrono::nanoseconds(nextTick > now ? nextTick - now : 1));
+    if (!m) {
+      if (inbox_->closed()) return;
+      continue;
+    }
+    switch (static_cast<Op>(m->type)) {
+      case Op::kSplitDone: handleSplitDone(*m); break;
+      case Op::kMigrateDone: handleMigrateDone(*m); break;
+      default: break;
+    }
+  }
+}
+
+bool Manager::readImage(std::map<WorkerId, WorkerStats>& workers,
+                        std::vector<ShardInfo>& shards) {
+  auto workerNames = zk_.children(workersPath());
+  if (!workerNames.has_value()) return false;
+  for (const auto& name : *workerNames) {
+    auto got = zk_.get(workersPath() + "/" + name);
+    if (!got.has_value()) continue;
+    try {
+      ByteReader r(got->data);
+      const WorkerStats s = WorkerStats::deserialize(r);
+      workers[s.id] = s;
+    } catch (const DeserializeError&) {
+    }
+  }
+  auto shardNames = zk_.children(shardsPath());
+  if (!shardNames.has_value()) return false;
+  for (const auto& name : *shardNames) {
+    auto got = zk_.get(shardsPath() + "/" + name);
+    if (!got.has_value()) continue;
+    try {
+      ByteReader r(got->data);
+      shards.push_back(ShardInfo::deserialize(r));
+    } catch (const DeserializeError&) {
+    }
+  }
+  return true;
+}
+
+void Manager::analyze() {
+  std::map<WorkerId, WorkerStats> workers;
+  std::vector<ShardInfo> shards;
+  if (!readImage(workers, shards) || workers.empty()) return;
+
+  // Rule 1 — capacity: split any shard beyond the size cap, largest first,
+  // so migration units stay manageable (SIII-E).
+  const ShardInfo* splitCandidate = nullptr;
+  for (const auto& s : shards) {
+    if (s.count > cfg_.maxShardItems &&
+        (splitCandidate == nullptr || s.count > splitCandidate->count))
+      splitCandidate = &s;
+  }
+  if (splitCandidate != nullptr) {
+    startSplit(*splitCandidate);
+    return;
+  }
+
+  // Rule 2 — balance: if the heaviest worker carries imbalanceRatio x the
+  // lightest (new workers join empty), move its largest movable shard to
+  // the lightest worker. Only shards small enough to actually reduce the
+  // gap are movable; an oversized one is split first by rule 1 next tick.
+  WorkerId heavy = kNoWorker, light = kNoWorker;
+  std::uint64_t heavyLoad = 0, lightLoad = ~std::uint64_t{0};
+  for (const auto& [id, s] : workers) {
+    if (s.totalItems >= heavyLoad) {
+      heavyLoad = s.totalItems;
+      heavy = id;
+    }
+    if (s.totalItems < lightLoad) {
+      lightLoad = s.totalItems;
+      light = id;
+    }
+  }
+  if (heavy == light) return;
+  const std::uint64_t gap = heavyLoad - lightLoad;
+  if (gap < cfg_.minImbalanceItems) return;
+  if (lightLoad > 0 &&
+      static_cast<double>(heavyLoad) <
+          cfg_.imbalanceRatio * static_cast<double>(lightLoad))
+    return;
+
+  const ShardInfo* movable = nullptr;
+  const ShardInfo* largestOnHeavy = nullptr;
+  for (const auto& s : shards) {
+    if (s.worker != heavy) continue;
+    if (largestOnHeavy == nullptr || s.count > largestOnHeavy->count)
+      largestOnHeavy = &s;
+    if (s.count == 0 || s.count > gap / 2 + 1) continue;
+    if (movable == nullptr || s.count > movable->count) movable = &s;
+  }
+  if (movable != nullptr) {
+    startMigrate(*movable, light);
+  } else if (largestOnHeavy != nullptr && largestOnHeavy->count > 1) {
+    // Everything on the heavy worker is too big to move: halve the largest.
+    startSplit(*largestOnHeavy);
+  }
+}
+
+void Manager::startSplit(const ShardInfo& shard) {
+  SplitShard req;
+  req.shard = shard.id;
+  req.newShard = allocShardId();
+  inFlight_.fetch_add(1);
+  if (!fabric_.send(workerEndpoint(shard.worker),
+                    makeMessage(Op::kSplitShard, nextCorr_++,
+                                managerEndpoint(), req.encode()))) {
+    inFlight_.fetch_sub(1);
+  }
+}
+
+void Manager::startMigrate(const ShardInfo& shard, WorkerId dest) {
+  MigrateShard req;
+  req.shard = shard.id;
+  req.dest = dest;
+  inFlight_.fetch_add(1);
+  if (!fabric_.send(workerEndpoint(shard.worker),
+                    makeMessage(Op::kMigrateShard, nextCorr_++,
+                                managerEndpoint(), req.encode()))) {
+    inFlight_.fetch_sub(1);
+  }
+}
+
+void Manager::writeShardInfo(const ShardInfo& info, bool relocate,
+                             bool takeCount) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto cur = zk_.get(shardPath(info.id));
+    if (!cur.has_value()) {
+      ByteWriter w;
+      info.serialize(w);
+      if (zk_.create(shardPath(info.id), w.take()).has_value()) return;
+      continue;
+    }
+    ByteReader r(cur->data);
+    ShardInfo stored = ShardInfo::deserialize(r);
+    stored.mergeFrom(schema_, info, /*takeLocation=*/relocate, takeCount);
+    ByteWriter w;
+    stored.serialize(w);
+    if (zk_.set(shardPath(info.id), w.take(), cur->version).has_value())
+      return;
+  }
+}
+
+void Manager::handleSplitDone(const Message& m) {
+  inFlight_.fetch_sub(1);
+  const SplitDone done = SplitDone::decode(m.payload);
+  if (!done.ok) return;
+  // Publish the new shard and refresh the old one's stats; servers learn of
+  // the new shard through their children watch on /volap/shards.
+  // Split halves the counts: overwrite them (the one non-monotone update
+  // besides relocation, see ShardInfo).
+  writeShardInfo(done.right, /*relocate=*/true, /*takeCount=*/true);
+  writeShardInfo(done.left, /*relocate=*/false, /*takeCount=*/true);
+  splits_.fetch_add(1);
+}
+
+void Manager::handleMigrateDone(const Message& m) {
+  inFlight_.fetch_sub(1);
+  const MigrateDone done = MigrateDone::decode(m.payload);
+  if (!done.ok) return;
+  ShardInfo info;
+  info.id = done.shard;
+  info.worker = done.dest;
+  writeShardInfo(info, /*relocate=*/true, /*takeCount=*/false);
+  migrations_.fetch_add(1);
+}
+
+}  // namespace volap

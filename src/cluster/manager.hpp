@@ -1,0 +1,90 @@
+// The manager background process (paper SIII-E): periodically analyzes the
+// system state stored in the keeper and initiates load-balancing operations
+// — splitting oversized shards and migrating shards from overloaded (or
+// onto newly added, empty) workers — while the system keeps serving
+// inserts and queries. The manager is deliberately not on the data path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/protocol.hpp"
+#include "keeper/keeper.hpp"
+#include "net/fabric.hpp"
+
+namespace volap {
+
+struct ManagerConfig {
+  std::uint64_t periodNanos = 1'000'000'000;  // analysis cadence
+  /// Split any shard that grows beyond this (keeps migration units small,
+  /// SIII-E: "a shard can also be split if the load balancer requires
+  /// smaller shards for migration").
+  std::uint64_t maxShardItems = 200'000;
+  /// Rebalance when max/min worker load diverges beyond this ratio.
+  double imbalanceRatio = 1.5;
+  /// Absolute slack: ignore imbalance below this many items.
+  std::uint64_t minImbalanceItems = 2'000;
+  /// In-flight operation cap per tick.
+  unsigned maxConcurrentOps = 2;
+  bool enabled = true;
+};
+
+class Manager {
+ public:
+  Manager(Fabric& fabric, const Schema& schema, ManagerConfig cfg,
+          ShardId firstShardId);
+  ~Manager();
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  void stop();
+
+  /// Pause/resume balancing (the Fig. 6 experiment runs discrete phases).
+  void setEnabled(bool on);
+
+  /// Lifetime counters for the Fig. 6 series.
+  std::uint64_t splitsDone() const { return splits_.load(); }
+  std::uint64_t migrationsDone() const { return migrations_.load(); }
+  std::uint64_t opsInFlight() const { return inFlight_.load(); }
+
+  /// Allocate a fresh shard id (also used by the bootstrap path).
+  ShardId allocShardId() { return nextShardId_.fetch_add(1); }
+
+ private:
+  struct ShardView {
+    ShardInfo info;
+  };
+
+  void serve();
+  void analyze();
+  void handleSplitDone(const Message& m);
+  void handleMigrateDone(const Message& m);
+  bool readImage(std::map<WorkerId, WorkerStats>& workers,
+                 std::vector<ShardInfo>& shards);
+  void startSplit(const ShardInfo& shard);
+  void startMigrate(const ShardInfo& shard, WorkerId dest);
+  void writeShardInfo(const ShardInfo& info, bool relocate,
+                      bool takeCount);
+
+  Fabric& fabric_;
+  const Schema& schema_;
+  ManagerConfig cfg_;
+  std::shared_ptr<Mailbox> inbox_;
+  KeeperClient zk_;
+  std::atomic<ShardId> nextShardId_;
+  std::atomic<bool> enabled_;
+
+  std::atomic<std::uint64_t> splits_{0};
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<std::uint64_t> inFlight_{0};
+  std::uint64_t nextCorr_ = 1;
+
+  std::thread thread_;
+};
+
+}  // namespace volap

@@ -1,0 +1,337 @@
+// Wire protocol between clients, servers, workers and the manager. Every
+// payload is a flat ByteWriter blob; opcodes live in the 0x200 range so
+// they never collide with keeper traffic sharing the same fabric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/types.hpp"
+#include "net/fabric.hpp"
+#include "olap/aggregate.hpp"
+#include "olap/point.hpp"
+#include "olap/query_box.hpp"
+#include "tree/shard.hpp"
+
+namespace volap {
+
+enum class Op : std::uint16_t {
+  // Client -> Server.
+  kInsert = 0x200,      // point
+  kQuery = 0x201,       // QueryBox
+  kBulk = 0x202,        // PointSet
+  // Server -> Client.
+  kInsertAck = 0x210,
+  kQueryReply = 0x211,  // Aggregate + routing stats
+  kBulkAck = 0x212,
+  // Server -> Worker.
+  kWInsert = 0x220,     // shard id + point
+  kWQuery = 0x221,      // shard id list + QueryBox
+  kWBulk = 0x222,       // shard id + PointSet
+  // Worker -> Server.
+  kWInsertAck = 0x230,  // echoes corr; u8 expandedBox
+  kWQueryReply = 0x231, // Aggregate + searched count + moved list
+  kWBulkAck = 0x232,
+  // Manager/bootstrap -> Worker.
+  kCreateShard = 0x240,   // shard id + kind
+  kSplitShard = 0x241,    // shard id + new shard id
+  kMigrateShard = 0x242,  // shard id + destination worker
+  // Worker -> Manager.
+  kCreateShardAck = 0x250,
+  kSplitDone = 0x251,   // ok + both halves' info
+  kMigrateDone = 0x252, // ok + shard id + dest
+  // Worker <-> Worker (migration transfer).
+  kTransferShard = 0x260,  // shard id + serialized blob
+  kTransferAck = 0x261,
+  kTransferItems = 0x262,  // shard id + queued items that arrived mid-move
+};
+
+// ---- small payload helpers -------------------------------------------------
+
+inline void writePoint(ByteWriter& w, PointRef p) {
+  w.varint(p.coords.size());
+  for (auto c : p.coords) w.varint(c);
+  w.f64(p.measure);
+}
+
+inline Point readPoint(ByteReader& r) {
+  Point p;
+  const auto d = r.varint();
+  p.coords.reserve(d);
+  for (std::uint64_t i = 0; i < d; ++i) p.coords.push_back(r.varint());
+  p.measure = r.f64();
+  return p;
+}
+
+/// kWInsert payload.
+struct WInsert {
+  ShardId shard = 0;
+  Point point;
+
+  Blob encode() const {
+    ByteWriter w;
+    w.varint(shard);
+    writePoint(w, point.ref());
+    return w.take();
+  }
+  static WInsert decode(const Blob& b) {
+    ByteReader r(b);
+    WInsert m;
+    m.shard = r.varint();
+    m.point = readPoint(r);
+    return m;
+  }
+};
+
+/// kWQuery payload.
+struct WQuery {
+  std::vector<ShardId> shards;
+  QueryBox box;
+
+  Blob encode() const {
+    ByteWriter w;
+    w.varint(shards.size());
+    for (auto s : shards) w.varint(s);
+    box.serialize(w);
+    return w.take();
+  }
+  static WQuery decode(const Blob& b) {
+    ByteReader r(b);
+    WQuery m;
+    const auto n = r.varint();
+    m.shards.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) m.shards.push_back(r.varint());
+    m.box = QueryBox::deserialize(r);
+    return m;
+  }
+};
+
+/// kWQueryReply payload: partial aggregate plus redirections for shards
+/// that have migrated away since the server's image was refreshed.
+struct WQueryReply {
+  Aggregate agg;
+  std::uint32_t searchedShards = 0;
+  std::vector<std::pair<ShardId, WorkerId>> moved;
+
+  Blob encode() const {
+    ByteWriter w;
+    agg.serialize(w);
+    w.u32(searchedShards);
+    w.varint(moved.size());
+    for (const auto& [id, dst] : moved) {
+      w.varint(id);
+      w.u32(dst);
+    }
+    return w.take();
+  }
+  static WQueryReply decode(const Blob& b) {
+    ByteReader r(b);
+    WQueryReply m;
+    m.agg = Aggregate::deserialize(r);
+    m.searchedShards = r.u32();
+    const auto n = r.varint();
+    m.moved.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const ShardId id = r.varint();
+      const WorkerId dst = r.u32();
+      m.moved.emplace_back(id, dst);
+    }
+    return m;
+  }
+};
+
+/// kQueryReply payload (server -> client).
+struct QueryReply {
+  Aggregate agg;
+  std::uint32_t shardsSearched = 0;
+  std::uint32_t workersAsked = 0;
+
+  Blob encode() const {
+    ByteWriter w;
+    agg.serialize(w);
+    w.u32(shardsSearched);
+    w.u32(workersAsked);
+    return w.take();
+  }
+  static QueryReply decode(const Blob& b) {
+    ByteReader r(b);
+    QueryReply m;
+    m.agg = Aggregate::deserialize(r);
+    m.shardsSearched = r.u32();
+    m.workersAsked = r.u32();
+    return m;
+  }
+};
+
+/// kCreateShard payload.
+struct CreateShard {
+  ShardId shard = 0;
+  ShardKind kind = ShardKind::kHilbertPdcMds;
+
+  Blob encode() const {
+    ByteWriter w;
+    w.varint(shard);
+    w.u8(static_cast<std::uint8_t>(kind));
+    return w.take();
+  }
+  static CreateShard decode(const Blob& b) {
+    ByteReader r(b);
+    CreateShard m;
+    m.shard = r.varint();
+    m.kind = static_cast<ShardKind>(r.u8());
+    return m;
+  }
+};
+
+/// kSplitShard payload.
+struct SplitShard {
+  ShardId shard = 0;
+  ShardId newShard = 0;
+
+  Blob encode() const {
+    ByteWriter w;
+    w.varint(shard);
+    w.varint(newShard);
+    return w.take();
+  }
+  static SplitShard decode(const Blob& b) {
+    ByteReader r(b);
+    SplitShard m;
+    m.shard = r.varint();
+    m.newShard = r.varint();
+    return m;
+  }
+};
+
+/// kSplitDone payload.
+struct SplitDone {
+  bool ok = false;
+  ShardInfo left;   // keeps the original id
+  ShardInfo right;  // the new id
+
+  Blob encode() const {
+    ByteWriter w;
+    w.u8(ok ? 1 : 0);
+    left.serialize(w);
+    right.serialize(w);
+    return w.take();
+  }
+  static SplitDone decode(const Blob& b) {
+    ByteReader r(b);
+    SplitDone m;
+    m.ok = r.u8() != 0;
+    m.left = ShardInfo::deserialize(r);
+    m.right = ShardInfo::deserialize(r);
+    return m;
+  }
+};
+
+/// kMigrateShard payload.
+struct MigrateShard {
+  ShardId shard = 0;
+  WorkerId dest = kNoWorker;
+
+  Blob encode() const {
+    ByteWriter w;
+    w.varint(shard);
+    w.u32(dest);
+    return w.take();
+  }
+  static MigrateShard decode(const Blob& b) {
+    ByteReader r(b);
+    MigrateShard m;
+    m.shard = r.varint();
+    m.dest = r.u32();
+    return m;
+  }
+};
+
+/// kMigrateDone payload.
+struct MigrateDone {
+  bool ok = false;
+  ShardId shard = 0;
+  WorkerId dest = kNoWorker;
+
+  Blob encode() const {
+    ByteWriter w;
+    w.u8(ok ? 1 : 0);
+    w.varint(shard);
+    w.u32(dest);
+    return w.take();
+  }
+  static MigrateDone decode(const Blob& b) {
+    ByteReader r(b);
+    MigrateDone m;
+    m.ok = r.u8() != 0;
+    m.shard = r.varint();
+    m.dest = r.u32();
+    return m;
+  }
+};
+
+/// kTransferShard payload. Carries the mapping-table entry (SIII-E) along
+/// with the data so a previously split shard keeps redirecting queries to
+/// its right half after it moves.
+struct TransferShard {
+  ShardId shard = 0;
+  Blob blob;
+  std::vector<std::pair<Hyperplane, ShardId>> splits;  // mapping chain
+
+  Blob encode() const {
+    ByteWriter w;
+    w.varint(shard);
+    w.bytes(blob);
+    w.varint(splits.size());
+    for (const auto& [plane, rightId] : splits) {
+      plane.serialize(w);
+      w.varint(rightId);
+    }
+    return w.take();
+  }
+  static TransferShard decode(const Blob& b) {
+    ByteReader r(b);
+    TransferShard m;
+    m.shard = r.varint();
+    m.blob = r.bytes();
+    const auto n = r.varint();
+    m.splits.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Hyperplane plane = Hyperplane::deserialize(r);
+      const ShardId rightId = r.varint();
+      m.splits.emplace_back(plane, rightId);
+    }
+    return m;
+  }
+};
+
+/// kWBulk / kTransferItems payload.
+struct ShardBatch {
+  ShardId shard = 0;
+  PointSet items;
+
+  Blob encode() const {
+    ByteWriter w;
+    w.varint(shard);
+    items.serialize(w);
+    return w.take();
+  }
+  static ShardBatch decode(const Blob& b) {
+    ByteReader r(b);
+    ShardBatch m;
+    m.shard = r.varint();
+    m.items = PointSet::deserialize(r);
+    return m;
+  }
+};
+
+inline Message makeMessage(Op op, std::uint64_t corr, std::string from,
+                           Blob payload) {
+  Message m;
+  m.type = static_cast<std::uint16_t>(op);
+  m.corr = corr;
+  m.from = std::move(from);
+  m.payload = std::move(payload);
+  return m;
+}
+
+}  // namespace volap

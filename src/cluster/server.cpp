@@ -1,0 +1,444 @@
+#include "cluster/server.hpp"
+
+#include <cstdlib>
+
+#include "common/clock.hpp"
+
+namespace volap {
+
+Server::Server(Fabric& fabric, const Schema& schema, ServerId id,
+               ServerConfig cfg)
+    : fabric_(fabric),
+      schema_(schema),
+      id_(id),
+      cfg_(cfg),
+      inbox_(fabric.bind(serverEndpoint(id))),
+      zk_(fabric, serverEndpoint(id), serverEndpoint(id)),
+      image_(schema, cfg.imageFanout),
+      pool_(cfg.threads) {
+  thread_ = std::thread([this] { serve(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  inbox_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.insertsRouted = insertsRouted_.load();
+  s.queriesRouted = queriesRouted_.load();
+  s.boxExpansions = boxExpansions_.load();
+  s.syncPushes = syncPushes_.load();
+  s.watchEvents = watchEvents_.load();
+  s.chases = chases_.load();
+  return s;
+}
+
+void Server::serve() {
+  bootstrapImage();
+  std::uint64_t nextSync = nowNanos() + cfg_.syncIntervalNanos;
+  while (true) {
+    const std::uint64_t now = nowNanos();
+    if (now >= nextSync) {
+      syncPush();
+      nextSync = now + cfg_.syncIntervalNanos;
+    }
+    auto m = inbox_->recvFor(
+        std::chrono::nanoseconds(nextSync > now ? nextSync - now : 1));
+    if (!m) {
+      if (inbox_->closed()) return;
+      continue;
+    }
+    // Keeper synchronization stays on this thread (it owns zk_); data-path
+    // requests fan out to the request pool, all sharing the image.
+    if (m->type == static_cast<std::uint16_t>(KeeperOp::kWatchEvent)) {
+      handleWatchEvent(*m);
+      continue;
+    }
+    auto msg = std::make_shared<Message>(std::move(*m));
+    pool_.submit([this, msg] { dispatch(*msg); });
+  }
+}
+
+void Server::dispatch(const Message& m) {
+  switch (static_cast<Op>(m.type)) {
+    case Op::kInsert: handleInsert(m); break;
+    case Op::kQuery: handleQuery(m); break;
+    case Op::kBulk: handleBulk(m); break;
+    case Op::kWInsertAck: handleWorkerInsertAck(m); break;
+    case Op::kWQueryReply: handleWorkerQueryReply(m); break;
+    case Op::kWBulkAck: handleWorkerBulkAck(m); break;
+    default: break;
+  }
+}
+
+void Server::bootstrapImage() {
+  // Register this server and pull the current system image, arming watches
+  // so later changes arrive as notifications (SIII-B: "servers make use of
+  // Zookeeper's watch facility ... without wasteful polling").
+  zk_.create(serversPath() + "/" + std::to_string(id_), {});
+  refreshShardList();
+}
+
+void Server::refreshShardList() {
+  auto kids = zk_.children(shardsPath(), /*watch=*/true);
+  if (!kids.has_value()) return;
+  for (const auto& name : *kids) {
+    const ShardId id = std::strtoull(name.c_str(), nullptr, 10);
+    bool known;
+    {
+      imageLock_.lock_shared();
+      known = image_.hasShard(id);
+      imageLock_.unlock_shared();
+    }
+    if (!known) refreshShard(id);
+  }
+}
+
+void Server::refreshShard(ShardId id) {
+  auto got = zk_.get(shardPath(id), /*watch=*/true);
+  if (!got.has_value()) return;
+  ByteReader r(got->data);
+  try {
+    const ShardInfo info = ShardInfo::deserialize(r);
+    imageLock_.lock();
+    image_.applyRemote(info);
+    knownShards_.store(image_.shardCount(), std::memory_order_relaxed);
+    imageLock_.unlock();
+  } catch (const DeserializeError&) {
+    // Corrupt znode: ignore; the next write will repair it.
+  }
+}
+
+void Server::handleWatchEvent(const Message& m) {
+  watchEvents_.fetch_add(1, std::memory_order_relaxed);
+  ByteReader r(m.payload);
+  WatchEvent e;
+  try {
+    e = WatchEvent::deserialize(r);
+  } catch (const DeserializeError&) {
+    return;
+  }
+  if (e.kind == WatchEvent::Kind::kChildren && e.path == shardsPath()) {
+    refreshShardList();
+  } else if (e.kind == WatchEvent::Kind::kData &&
+             e.path.rfind(shardsPath() + "/", 0) == 0) {
+    const ShardId id = std::strtoull(
+        e.path.c_str() + shardsPath().size() + 1, nullptr, 10);
+    refreshShard(id);
+  }
+}
+
+// ---- inserts ----------------------------------------------------------------
+
+void Server::handleInsert(const Message& m) {
+  ByteReader r(m.payload);
+  const Point p = readPoint(r);
+  insertsRouted_.fetch_add(1, std::memory_order_relaxed);
+
+  imageLock_.lock();  // routeInsert expands boxes: exclusive
+  const LocalImage::Route route = image_.routeInsert(p.ref());
+  const WorkerId w = image_.workerOf(route.shard);
+  imageLock_.unlock();
+  if (route.expanded) boxExpansions_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::uint64_t corr = nextCorr_.fetch_add(1);
+  {
+    std::lock_guard lock(pendingMu_);
+    pendingInserts_[corr] = {m.from, m.corr};
+  }
+  WInsert req;
+  req.shard = route.shard;
+  req.point = p;
+  if (!fabric_.send(workerEndpoint(w),
+                    makeMessage(Op::kWInsert, corr, serverEndpoint(id_),
+                                req.encode()))) {
+    // Worker unreachable: ack anyway so clients are not wedged; the item is
+    // lost exactly as it would be on a crashed node without replication.
+    {
+      std::lock_guard lock(pendingMu_);
+      pendingInserts_.erase(corr);
+    }
+    fabric_.send(m.from, makeMessage(Op::kInsertAck, m.corr,
+                                     serverEndpoint(id_), {}));
+  }
+}
+
+void Server::handleWorkerInsertAck(const Message& m) {
+  PendingInsert pi;
+  {
+    std::lock_guard lock(pendingMu_);
+    auto it = pendingInserts_.find(m.corr);
+    if (it == pendingInserts_.end()) return;
+    pi = it->second;
+    pendingInserts_.erase(it);
+  }
+  fabric_.send(pi.clientEp, makeMessage(Op::kInsertAck, pi.clientCorr,
+                                        serverEndpoint(id_), {}));
+}
+
+// ---- queries ----------------------------------------------------------------
+
+void Server::handleQuery(const Message& m) {
+  ByteReader r(m.payload);
+  QueryBox box = QueryBox::deserialize(r);
+  queriesRouted_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<ShardId> ids;
+  std::map<WorkerId, std::vector<ShardId>> byWorker;
+  {
+    imageLock_.lock_shared();
+    image_.routeQuery(box, ids);
+    for (ShardId id : ids) byWorker[image_.workerOf(id)].push_back(id);
+    imageLock_.unlock_shared();
+  }
+  if (ids.empty()) {
+    QueryReply reply;
+    fabric_.send(m.from, makeMessage(Op::kQueryReply, m.corr,
+                                     serverEndpoint(id_), reply.encode()));
+    return;
+  }
+  auto q = std::make_shared<PendingQuery>();
+  q->clientEp = m.from;
+  q->clientCorr = m.corr;
+  q->box = box;
+  q->queried.insert(ids.begin(), ids.end());
+  const std::uint64_t corr = nextCorr_.fetch_add(1);
+  {
+    // Register before scattering so replies (which may arrive on another
+    // pool thread immediately) find the entry.
+    std::lock_guard lock(pendingMu_);
+    pendingQueries_.emplace(corr, q);
+  }
+  unsigned sent = 0;
+  for (auto& [w, shardIds] : byWorker) {
+    WQuery req;
+    req.shards = std::move(shardIds);
+    req.box = box;
+    if (fabric_.send(workerEndpoint(w),
+                     makeMessage(Op::kWQuery, corr, serverEndpoint(id_),
+                                 req.encode()))) {
+      ++sent;
+    }
+  }
+  bool finished = false;
+  {
+    std::lock_guard lock(pendingMu_);
+    q->workersAsked = sent;
+    q->pendingReplies += static_cast<int>(sent);  // may go through negative
+    if (q->pendingReplies == 0) {  // includes the all-sends-failed case
+      pendingQueries_.erase(corr);
+      finished = true;
+    }
+  }
+  if (finished) finishQuery(corr, *q);
+}
+
+void Server::chase(PendingQuery& q, std::uint64_t corr, ShardId id,
+                   WorkerId dest) {
+  // Called with pendingMu_ held.
+  if (dest == kNoWorker) {
+    imageLock_.lock_shared();
+    dest = image_.workerOf(id);
+    imageLock_.unlock_shared();
+    if (dest == kNoWorker) {
+      // Ask the event loop to refresh this shard from the keeper; this
+      // query proceeds without it (the next one will route correctly).
+      WatchEvent e{WatchEvent::Kind::kData, shardPath(id)};
+      ByteWriter w;
+      e.serialize(w);
+      fabric_.send(serverEndpoint(id_),
+                   makeMessage(static_cast<Op>(KeeperOp::kWatchEvent), 0,
+                               serverEndpoint(id_), w.take()));
+      return;
+    }
+  } else {
+    imageLock_.lock();
+    image_.setWorker(id, dest);
+    imageLock_.unlock();
+  }
+  WQuery req;
+  req.shards = {id};
+  req.box = q.box;
+  if (fabric_.send(workerEndpoint(dest),
+                   makeMessage(Op::kWQuery, corr, serverEndpoint(id_),
+                               req.encode()))) {
+    ++q.pendingReplies;
+    chases_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::handleWorkerQueryReply(const Message& m) {
+  std::shared_ptr<PendingQuery> q;
+  bool finished = false;
+  {
+    std::lock_guard lock(pendingMu_);
+    auto it = pendingQueries_.find(m.corr);
+    if (it == pendingQueries_.end()) return;
+    q = it->second;
+    const WQueryReply reply = WQueryReply::decode(m.payload);
+    q->agg.merge(reply.agg);
+    q->searched += reply.searchedShards;
+    --q->pendingReplies;
+    for (const auto& [id, dest] : reply.moved) {
+      if (q->queried.count(id) != 0) continue;  // already covered elsewhere
+      q->queried.insert(id);
+      chase(*q, m.corr, id, dest);
+    }
+    // The scatter registers the entry with pendingReplies incremented only
+    // after all sends; a reply racing ahead can drive the counter negative
+    // transiently (stored as unsigned would break — hence the signed check
+    // via workersAsked): once registration completed, 0 means done.
+    if (q->pendingReplies == 0 && q->workersAsked > 0) {
+      pendingQueries_.erase(it);
+      finished = true;
+    }
+  }
+  if (finished) finishQuery(m.corr, *q);
+}
+
+void Server::finishQuery(std::uint64_t corr, PendingQuery& q) {
+  QueryReply reply;
+  reply.agg = q.agg;
+  reply.shardsSearched = q.searched;
+  reply.workersAsked = q.workersAsked;
+  fabric_.send(q.clientEp, makeMessage(Op::kQueryReply, q.clientCorr,
+                                       serverEndpoint(id_), reply.encode()));
+  (void)corr;
+}
+
+// ---- bulk -------------------------------------------------------------------
+
+void Server::handleBulk(const Message& m) {
+  ByteReader r(m.payload);
+  PointSet items = PointSet::deserialize(r);
+  insertsRouted_.fetch_add(items.size(), std::memory_order_relaxed);
+
+  std::map<ShardId, PointSet> byShard;
+  std::map<ShardId, WorkerId> workers;
+  {
+    imageLock_.lock();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const PointRef p = items.at(i);
+      const LocalImage::Route route = image_.routeInsert(p);
+      if (route.expanded)
+        boxExpansions_.fetch_add(1, std::memory_order_relaxed);
+      auto [it, fresh] =
+          byShard.try_emplace(route.shard, PointSet(schema_.dims()));
+      it->second.push(p);
+      if (fresh) workers[route.shard] = image_.workerOf(route.shard);
+    }
+    imageLock_.unlock();
+  }
+  auto bulk = std::make_shared<PendingBulk>();
+  bulk->clientEp = m.from;
+  bulk->clientCorr = m.corr;
+  bulk->pendingAcks = 1;  // guard until all sends are registered
+  std::vector<std::uint64_t> corrs;
+  for (auto& [shard, batch] : byShard) {
+    ShardBatch req;
+    req.shard = shard;
+    req.items = std::move(batch);
+    const std::uint64_t corr = nextCorr_.fetch_add(1);
+    {
+      std::lock_guard lock(pendingMu_);
+      pendingBulks_.emplace(corr, bulk);
+    }
+    if (fabric_.send(workerEndpoint(workers[shard]),
+                     makeMessage(Op::kWBulk, corr, serverEndpoint(id_),
+                                 req.encode()))) {
+      std::lock_guard lock(pendingMu_);
+      ++bulk->pendingAcks;
+    } else {
+      std::lock_guard lock(pendingMu_);
+      pendingBulks_.erase(corr);
+    }
+  }
+  bool finished = false;
+  {
+    std::lock_guard lock(pendingMu_);
+    finished = --bulk->pendingAcks == 0;  // drop the registration guard
+  }
+  if (finished) {
+    ByteWriter w;
+    w.varint(bulk->applied);
+    fabric_.send(bulk->clientEp,
+                 makeMessage(Op::kBulkAck, bulk->clientCorr,
+                             serverEndpoint(id_), w.take()));
+  }
+}
+
+void Server::handleWorkerBulkAck(const Message& m) {
+  std::shared_ptr<PendingBulk> bulk;
+  bool finished = false;
+  {
+    std::lock_guard lock(pendingMu_);
+    auto it = pendingBulks_.find(m.corr);
+    if (it == pendingBulks_.end()) return;
+    bulk = it->second;
+    pendingBulks_.erase(it);
+    ByteReader r(m.payload);
+    bulk->applied += r.varint();
+    finished = --bulk->pendingAcks == 0;
+  }
+  if (finished) {
+    ByteWriter w;
+    w.varint(bulk->applied);
+    fabric_.send(bulk->clientEp,
+                 makeMessage(Op::kBulkAck, bulk->clientCorr,
+                             serverEndpoint(id_), w.take()));
+  }
+}
+
+// ---- keeper synchronization -------------------------------------------------
+
+void Server::syncPush() {
+  std::vector<ShardId> dirty;
+  {
+    imageLock_.lock();
+    dirty = image_.takeDirty();
+    imageLock_.unlock();
+  }
+  for (ShardId id : dirty) {
+    ShardInfo mine;
+    mine.id = id;
+    {
+      imageLock_.lock_shared();
+      mine.worker = image_.workerOf(id);
+      mine.count = image_.countOf(id);
+      mine.box = image_.boxOf(id);
+      imageLock_.unlock_shared();
+    }
+    bool pushed = false;
+    for (int attempt = 0; attempt < 4 && !pushed; ++attempt) {
+      auto cur = zk_.get(shardPath(id), /*watch=*/true);
+      if (!cur.has_value()) {
+        ByteWriter w;
+        mine.serialize(w);
+        pushed = zk_.create(shardPath(id), w.take()).has_value();
+        continue;
+      }
+      ByteReader r(cur->data);
+      ShardInfo stored = ShardInfo::deserialize(r);
+      // Servers only contribute box growth; count and location belong to
+      // the worker and manager respectively.
+      stored.mergeFrom(schema_, mine, /*takeLocation=*/false,
+                       /*takeCount=*/false);
+      // Piggy-back: fold the remote view into our image while we are here.
+      {
+        imageLock_.lock();
+        image_.applyRemote(stored);
+        imageLock_.unlock();
+      }
+      ByteWriter w;
+      stored.serialize(w);
+      pushed = zk_.set(shardPath(id), w.take(), cur->version).has_value();
+    }
+    if (pushed) syncPushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace volap

@@ -1,0 +1,140 @@
+// Server node (paper SIII-A/B/C): terminates client sessions, routes
+// inserts to the least-overlap shard and scatters queries to every relevant
+// worker via its local image, then gathers partial aggregates. The local
+// image is synchronized with the global image in the keeper at a
+// configurable rate (default 3 s, SIII-B) — pushing locally-grown bounding
+// boxes with CAS-merges and applying remote changes via one-shot watches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cluster/local_image.hpp"
+#include "cluster/protocol.hpp"
+#include "common/rwspin.hpp"
+#include "common/thread_pool.hpp"
+#include "keeper/keeper.hpp"
+#include "net/fabric.hpp"
+
+namespace volap {
+
+struct ServerConfig {
+  /// Keeper synchronization cadence; the paper's "configurable freshness".
+  std::uint64_t syncIntervalNanos = 3'000'000'000;
+  unsigned imageFanout = 8;
+  /// Request-processing threads sharing the local image (SIII-C: "servers
+  /// use many threads, all using the same index in parallel"). The event
+  /// loop additionally owns keeper synchronization.
+  unsigned threads = 2;
+};
+
+class Server {
+ public:
+  Server(Fabric& fabric, const Schema& schema, ServerId id,
+         ServerConfig cfg = ServerConfig());
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void stop();
+
+  ServerId id() const { return id_; }
+
+  struct Stats {
+    std::uint64_t insertsRouted = 0;
+    std::uint64_t queriesRouted = 0;
+    std::uint64_t boxExpansions = 0;  // inserts that grew a routing box
+    std::uint64_t syncPushes = 0;     // dirty boxes pushed to the keeper
+    std::uint64_t watchEvents = 0;
+    std::uint64_t chases = 0;  // re-routed after a shard moved
+  };
+  Stats stats() const;
+
+  std::size_t knownShards() const {
+    return knownShards_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PendingInsert {
+    std::string clientEp;
+    std::uint64_t clientCorr = 0;
+  };
+  struct PendingQuery {
+    std::string clientEp;
+    std::uint64_t clientCorr = 0;
+    QueryBox box;
+    /// Signed: a reply can race ahead of the scatter loop's final count
+    /// (the entry registers before sending), driving this below zero
+    /// transiently; workersAsked > 0 marks registration complete.
+    int pendingReplies = 0;
+    Aggregate agg;
+    std::uint32_t searched = 0;
+    std::uint32_t workersAsked = 0;
+    std::unordered_set<ShardId> queried;
+  };
+  struct PendingBulk {
+    std::string clientEp;
+    std::uint64_t clientCorr = 0;
+    unsigned pendingAcks = 0;
+    std::uint64_t applied = 0;
+  };
+
+  void serve();
+  void dispatch(const Message& m);
+  void bootstrapImage();
+  void handleInsert(const Message& m);
+  void handleQuery(const Message& m);
+  void handleBulk(const Message& m);
+  void handleWorkerInsertAck(const Message& m);
+  void handleWorkerQueryReply(const Message& m);
+  void handleWorkerBulkAck(const Message& m);
+  void handleWatchEvent(const Message& m);
+  void refreshShard(ShardId id);
+  void refreshShardList();
+  void syncPush();
+  void chase(PendingQuery& q, std::uint64_t corr, ShardId id, WorkerId dest);
+  void finishQuery(std::uint64_t corr, PendingQuery& q);
+
+  Fabric& fabric_;
+  const Schema& schema_;
+  const ServerId id_;
+  const ServerConfig cfg_;
+  std::shared_ptr<Mailbox> inbox_;
+  KeeperClient zk_;  // event-loop thread only
+
+  // The shared local image (SIII-C): request threads route under a shared
+  // lock for queries and an exclusive lock for inserts (which expand
+  // boxes); synchronization applies remote changes exclusively.
+  mutable RwSpinLock imageLock_;
+  LocalImage image_;
+
+  std::mutex pendingMu_;
+  std::atomic<std::uint64_t> nextCorr_{1};
+  std::unordered_map<std::uint64_t, PendingInsert> pendingInserts_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingQuery>>
+      pendingQueries_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingBulk>>
+      pendingBulks_;
+
+  std::atomic<std::uint64_t> insertsRouted_{0};
+  std::atomic<std::uint64_t> queriesRouted_{0};
+  std::atomic<std::uint64_t> boxExpansions_{0};
+  std::atomic<std::uint64_t> syncPushes_{0};
+  std::atomic<std::uint64_t> watchEvents_{0};
+  std::atomic<std::uint64_t> chases_{0};
+  std::atomic<std::size_t> knownShards_{0};
+
+  // Declared after every piece of state its tasks touch: the pool drains
+  // and joins before the pending maps and counters are destroyed.
+  ThreadPool pool_;
+  std::thread thread_;
+};
+
+}  // namespace volap

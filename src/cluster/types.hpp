@@ -1,0 +1,98 @@
+// Identifiers, endpoint naming, keeper paths, and the ShardInfo record that
+// makes up the system image (paper SIII-B: "for each shard its size,
+// bounding box, and the address of the worker where it is located").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "olap/mds.hpp"
+
+namespace volap {
+
+using ShardId = std::uint64_t;
+using WorkerId = std::uint32_t;
+using ServerId = std::uint32_t;
+
+constexpr WorkerId kNoWorker = ~WorkerId{0};
+
+inline std::string workerEndpoint(WorkerId w) {
+  return "worker/" + std::to_string(w);
+}
+inline std::string serverEndpoint(ServerId s) {
+  return "server/" + std::to_string(s);
+}
+inline std::string managerEndpoint() { return "manager"; }
+
+// Keeper layout.
+inline std::string shardsPath() { return "/volap/shards"; }
+inline std::string shardPath(ShardId id) {
+  return "/volap/shards/" + std::to_string(id);
+}
+inline std::string workersPath() { return "/volap/workers"; }
+inline std::string workerPath(WorkerId id) {
+  return "/volap/workers/" + std::to_string(id);
+}
+inline std::string serversPath() { return "/volap/servers"; }
+
+/// One shard's entry in the system image. The box is monotone (it only
+/// grows) and is union-merged by every writer; `count` is NOT monotone
+/// (splits halve it) so only authoritative writers — the owning worker's
+/// stats push and the manager's split commit — overwrite it; `worker` is
+/// rewritten only by the manager. CAS loops make concurrent writers
+/// converge.
+struct ShardInfo {
+  ShardId id = 0;
+  WorkerId worker = kNoWorker;
+  std::uint64_t count = 0;
+  MdsKey box;  // may be empty for a freshly created shard
+
+  void mergeFrom(const Schema& schema, const ShardInfo& o, bool takeLocation,
+                 bool takeCount) {
+    if (takeCount) count = o.count;
+    if (o.box.valid()) box.merge(schema, o.box);
+    if (takeLocation) worker = o.worker;
+  }
+
+  void serialize(ByteWriter& w) const {
+    w.varint(id);
+    w.u32(worker);
+    w.varint(count);
+    box.serialize(w);
+  }
+  static ShardInfo deserialize(ByteReader& r) {
+    ShardInfo s;
+    s.id = r.varint();
+    s.worker = r.u32();
+    s.count = r.varint();
+    s.box = MdsKey::deserialize(r);
+    return s;
+  }
+};
+
+/// Per-worker load statistics published to the keeper (paper SIII-B:
+/// "Workers update shard statistics in Zookeeper periodically ... to allow
+/// the manager to plan load balancing operations").
+struct WorkerStats {
+  WorkerId id = 0;
+  std::uint64_t totalItems = 0;
+  std::uint32_t shardCount = 0;
+  std::uint64_t memoryBytes = 0;
+
+  void serialize(ByteWriter& w) const {
+    w.u32(id);
+    w.varint(totalItems);
+    w.u32(shardCount);
+    w.varint(memoryBytes);
+  }
+  static WorkerStats deserialize(ByteReader& r) {
+    WorkerStats s;
+    s.id = r.u32();
+    s.totalItems = r.varint();
+    s.shardCount = r.u32();
+    s.memoryBytes = r.varint();
+    return s;
+  }
+};
+
+}  // namespace volap

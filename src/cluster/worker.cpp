@@ -1,0 +1,588 @@
+#include "cluster/worker.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <unordered_set>
+
+#include "common/clock.hpp"
+#include "tree/shard_tree.hpp"
+
+namespace volap {
+
+namespace {
+
+/// Spin until no insert is in flight on the slot. New inserts cannot start
+/// while the caller prevents them (busy flag or slotsMu_).
+void drainInserts(const std::atomic<std::uint32_t>& active) {
+  while (active.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+}
+
+}  // namespace
+
+Worker::Worker(Fabric& fabric, const Schema& schema, WorkerId id,
+               WorkerConfig cfg)
+    : fabric_(fabric),
+      schema_(schema),
+      id_(id),
+      cfg_(cfg),
+      inbox_(fabric.bind(workerEndpoint(id))),
+      zk_(fabric, workerEndpoint(id)),
+      pool_(cfg.threads) {
+  thread_ = std::thread([this] { serve(); });
+}
+
+Worker::~Worker() { stop(); }
+
+void Worker::stop() {
+  inbox_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t Worker::itemsHeld() const {
+  std::lock_guard lock(slotsMu_);
+  std::uint64_t total = 0;
+  for (const auto& [id, slot] : slots_) {
+    if (slot.movedTo != kNoWorker) continue;
+    if (slot.shard) total += slot.shard->size();
+    if (slot.queue) total += slot.queue->size();
+  }
+  return total;
+}
+
+std::size_t Worker::shardCount() const {
+  std::lock_guard lock(slotsMu_);
+  std::size_t n = 0;
+  for (const auto& [id, slot] : slots_)
+    if (slot.movedTo == kNoWorker) ++n;
+  return n;
+}
+
+Worker::Slot* Worker::findSlot(ShardId id) {
+  auto it = slots_.find(id);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+void Worker::serve() {
+  std::uint64_t nextStats = nowNanos() + cfg_.statsIntervalNanos;
+  while (true) {
+    const std::uint64_t now = nowNanos();
+    if (now >= nextStats) {
+      pushStats();
+      nextStats = now + cfg_.statsIntervalNanos;
+    }
+    auto m = inbox_->recvFor(std::chrono::nanoseconds(
+        nextStats > now ? nextStats - now : 1));
+    if (!m) {
+      if (inbox_->closed()) return;
+      continue;
+    }
+    switch (static_cast<Op>(m->type)) {
+      case Op::kWInsert: {
+        auto msg = std::make_shared<Message>(std::move(*m));
+        pool_.submit([this, msg] { handleInsert(*msg); });
+        break;
+      }
+      case Op::kWQuery: {
+        auto msg = std::make_shared<Message>(std::move(*m));
+        pool_.submit([this, msg] { handleQuery(*msg); });
+        break;
+      }
+      case Op::kWBulk:
+      case Op::kTransferItems: {
+        auto msg = std::make_shared<Message>(std::move(*m));
+        pool_.submit([this, msg] { handleBulk(*msg); });
+        break;
+      }
+      case Op::kCreateShard:
+        handleCreateShard(*m);
+        break;
+      case Op::kSplitShard: {
+        auto msg = std::make_shared<Message>(std::move(*m));
+        pool_.submit([this, msg] { handleSplitShard(*msg); });
+        break;
+      }
+      case Op::kMigrateShard: {
+        auto msg = std::make_shared<Message>(std::move(*m));
+        pool_.submit([this, msg] { handleMigrateShard(*msg); });
+        break;
+      }
+      case Op::kTransferShard: {
+        auto msg = std::make_shared<Message>(std::move(*m));
+        pool_.submit([this, msg] { handleTransferShard(*msg); });
+        break;
+      }
+      case Op::kTransferAck:
+        handleTransferAck(*m);
+        break;
+      default:
+        break;  // keeper watch events etc.: workers ignore them
+    }
+  }
+}
+
+// ---- data path --------------------------------------------------------------
+
+namespace {
+
+/// Reject items whose coordinates fall outside the schema's domain
+/// (protocol-level garbage must never reach a shard tree).
+bool pointInDomain(const Schema& schema, PointRef p) {
+  if (p.dims() != schema.dims()) return false;
+  for (unsigned j = 0; j < schema.dims(); ++j) {
+    if (p.coords[j] >= schema.dim(j).extent()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Worker::handleInsert(const Message& m) {
+  const WInsert req = WInsert::decode(m.payload);
+  if (!pointInDomain(schema_, req.point.ref())) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    fabric_.send(m.from, makeMessage(Op::kWInsertAck, m.corr,
+                                     workerEndpoint(id_), {}));
+    return;
+  }
+  std::shared_ptr<Shard> target;
+  std::shared_ptr<std::atomic<std::uint32_t>> active;
+  {
+    std::lock_guard lock(slotsMu_);
+    ShardId cur = req.shard;
+    Slot* fallback = nullptr;  // last local slot seen along the chain
+    for (int hops = 0; hops < 64; ++hops) {
+      Slot* slot = findSlot(cur);
+      if (slot == nullptr) {
+        // The mapping chain points at a child that lives elsewhere (e.g.
+        // the parent migrated but its split child stayed behind). The
+        // redirect is only a placement optimization: the parent's image
+        // box still covers this region, so the item is correct — and
+        // queryable — in the last local slot of the chain.
+        if (fallback != nullptr) {
+          target = fallback->busy ? fallback->queue : fallback->shard;
+          active = fallback->activeInserts;
+          active->fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          dropped_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      if (slot->movedTo != kNoWorker) {
+        // Forwarding stub: pass the insert through to the new owner with
+        // the RESOLVED shard id (the chain may have redirected a stale id
+        // to a split child the destination knows under its own id); the
+        // destination acks the originating server directly.
+        WInsert fwdReq;
+        fwdReq.shard = cur;
+        fwdReq.point = req.point;
+        fabric_.send(workerEndpoint(slot->movedTo),
+                     makeMessage(Op::kWInsert, m.corr, m.from,
+                                 fwdReq.encode()));
+        return;
+      }
+      bool redirected = false;
+      for (const auto& [plane, rightId] : slot->splits) {
+        if (req.point.coords[plane.dim] >= plane.cut) {
+          cur = rightId;  // mapping table M_j (SIII-E), in split order
+          redirected = true;
+          break;
+        }
+      }
+      if (redirected) {
+        fallback = slot;
+        continue;
+      }
+      target = slot->busy ? slot->queue : slot->shard;
+      active = slot->activeInserts;
+      active->fetch_add(1, std::memory_order_acq_rel);
+      break;
+    }
+  }
+  if (target) {
+    target->insert(req.point.ref());
+    active->fetch_sub(1, std::memory_order_acq_rel);
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  fabric_.send(m.from, makeMessage(Op::kWInsertAck, m.corr,
+                                   workerEndpoint(id_), {}));
+}
+
+void Worker::handleQuery(const Message& m) {
+  const WQuery req = WQuery::decode(m.payload);
+  std::vector<std::shared_ptr<Shard>> targets;
+  WQueryReply reply;
+  {
+    std::lock_guard lock(slotsMu_);
+    std::unordered_set<const Shard*> seen;
+    std::unordered_set<ShardId> visited;
+    for (ShardId id : req.shards) {
+      std::vector<ShardId> pending{id};
+      for (int hops = 0; !pending.empty() && hops < 256; ++hops) {
+        const ShardId cur = pending.back();
+        pending.pop_back();
+        if (!visited.insert(cur).second) continue;
+        Slot* slot = findSlot(cur);
+        if (slot == nullptr) {
+          // A split-right child we no longer know about: tell the server
+          // to locate it via its image / the keeper.
+          if (cur != id) reply.moved.emplace_back(cur, kNoWorker);
+          continue;
+        }
+        if (slot->movedTo != kNoWorker) {
+          reply.moved.emplace_back(cur, slot->movedTo);
+          continue;
+        }
+        if (slot->shard && seen.insert(slot->shard.get()).second)
+          targets.push_back(slot->shard);
+        if (slot->queue && seen.insert(slot->queue.get()).second)
+          targets.push_back(slot->queue);
+        for (const auto& [plane, rightId] : slot->splits)
+          pending.push_back(rightId);  // query every half; trees prune
+      }
+    }
+  }
+  for (const auto& shard : targets) {
+    reply.agg.merge(shard->query(req.box));
+    ++reply.searchedShards;
+  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  fabric_.send(m.from, makeMessage(Op::kWQueryReply, m.corr,
+                                   workerEndpoint(id_), reply.encode()));
+}
+
+void Worker::handleBulk(const Message& m) {
+  ShardBatch batch = ShardBatch::decode(m.payload);
+  if (batch.items.dims() != schema_.dims()) return;
+  for (std::size_t i = 0; i < batch.items.size(); ++i) {
+    if (!pointInDomain(schema_, batch.items.at(i))) {
+      dropped_.fetch_add(batch.items.size(), std::memory_order_relaxed);
+      return;  // poisoned batch: reject wholesale
+    }
+  }
+  // Resolve the slot, partitioning recursively along split mappings.
+  struct Target {
+    std::shared_ptr<Shard> shard;
+    std::shared_ptr<std::atomic<std::uint32_t>> active;
+    PointSet items;
+  };
+  std::vector<Target> targets;
+  std::uint64_t forwarded = 0;
+  std::vector<std::pair<ShardId, PointSet>> work;
+  work.emplace_back(batch.shard, std::move(batch.items));
+  {
+    std::lock_guard lock(slotsMu_);
+    while (!work.empty()) {
+      auto [id, items] = std::move(work.back());
+      work.pop_back();
+      Slot* slot = findSlot(id);
+      if (slot == nullptr) {
+        dropped_.fetch_add(items.size(), std::memory_order_relaxed);
+        continue;
+      }
+      if (slot->movedTo != kNoWorker) {
+        // Forward to the new owner but keep ack ownership here: the server
+        // expects exactly one ack per kWBulk, so the forwarded portion is
+        // counted as applied (at-least-once, like the insert path) and the
+        // destination's ack is suppressed via corr 0.
+        forwarded += items.size();
+        ShardBatch fwd;
+        fwd.shard = id;
+        fwd.items = std::move(items);
+        fabric_.send(workerEndpoint(slot->movedTo),
+                     makeMessage(static_cast<Op>(m.type), 0, m.from,
+                                 fwd.encode()));
+        continue;
+      }
+      if (!slot->splits.empty()) {
+        // Partition along the mapping chain: each item follows the FIRST
+        // plane it matches, in split order.
+        PointSet stay(schema_.dims());
+        std::map<ShardId, PointSet> redirect;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          const PointRef p = items.at(i);
+          ShardId dest = 0;
+          for (const auto& [plane, rightId] : slot->splits) {
+            if (p.coords[plane.dim] >= plane.cut) {
+              dest = rightId;
+              break;
+            }
+          }
+          if (dest == 0) {
+            stay.push(p);
+          } else {
+            auto [it, fresh] =
+                redirect.try_emplace(dest, PointSet(schema_.dims()));
+            it->second.push(p);
+          }
+        }
+        for (auto& [dest, batchItems] : redirect) {
+          if (findSlot(dest) != nullptr || dest == id) {
+            work.emplace_back(dest, std::move(batchItems));
+          } else {
+            // Unknown child (lives on another worker): keep the items in
+            // the local parent — its image box covers them.
+            for (std::size_t i = 0; i < batchItems.size(); ++i)
+              stay.push(batchItems.at(i));
+          }
+        }
+        if (stay.size() == 0) continue;
+        items = std::move(stay);
+      }
+      Target t;
+      t.shard = slot->busy ? slot->queue : slot->shard;
+      t.active = slot->activeInserts;
+      t.items = std::move(items);
+      t.active->fetch_add(1, std::memory_order_acq_rel);
+      targets.push_back(std::move(t));
+    }
+  }
+  std::uint64_t applied = 0;
+  for (auto& t : targets) {
+    t.shard->bulkLoad(t.items);
+    applied += t.items.size();
+    t.active->fetch_sub(1, std::memory_order_acq_rel);
+  }
+  inserts_.fetch_add(applied, std::memory_order_relaxed);
+  if (static_cast<Op>(m.type) == Op::kWBulk && m.corr != 0) {
+    ByteWriter w;
+    w.varint(applied + forwarded);
+    fabric_.send(m.from, makeMessage(Op::kWBulkAck, m.corr,
+                                     workerEndpoint(id_), w.take()));
+  }
+}
+
+// ---- control path -----------------------------------------------------------
+
+void Worker::handleCreateShard(const Message& m) {
+  const CreateShard req = CreateShard::decode(m.payload);
+  {
+    std::lock_guard lock(slotsMu_);
+    if (slots_.count(req.shard) == 0) {
+      Slot slot;
+      slot.shard = makeShard(req.kind, schema_);
+      slots_.emplace(req.shard, std::move(slot));
+    }
+  }
+  fabric_.send(m.from, makeMessage(Op::kCreateShardAck, m.corr,
+                                   workerEndpoint(id_), {}));
+}
+
+void Worker::handleSplitShard(const Message& m) {
+  const SplitShard req = SplitShard::decode(m.payload);
+  auto fail = [&] {
+    SplitDone done;
+    done.ok = false;
+    fabric_.send(m.from, makeMessage(Op::kSplitDone, m.corr,
+                                     workerEndpoint(id_), done.encode()));
+  };
+
+  std::shared_ptr<Shard> shard;
+  std::shared_ptr<std::atomic<std::uint32_t>> active;
+  {
+    std::lock_guard lock(slotsMu_);
+    Slot* slot = findSlot(req.shard);
+    if (slot == nullptr || slot->busy || slot->movedTo != kNoWorker ||
+        !slot->shard) {
+      fail();
+      return;
+    }
+    slot->busy = true;
+    slot->queue = makeShard(slot->shard->kind(), schema_);
+    shard = slot->shard;
+    active = slot->activeInserts;
+  }
+  drainInserts(*active);
+
+  // SplitQuery + Split (SIII-E) over a consistent snapshot; queries keep
+  // running against the original shard + insertion queue throughout.
+  PointSet all(schema_.dims());
+  all.reserve(shard->size());
+  shard->collect(all);
+  const Hyperplane h = ShardTree<MdsKey>::balancedHyperplane(schema_, all);
+  PointSet leftItems(schema_.dims()), rightItems(schema_.dims());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const PointRef p = all.at(i);
+    (p.coords[h.dim] < h.cut ? leftItems : rightItems).push(p);
+  }
+  if (leftItems.size() == 0 || rightItems.size() == 0) {
+    // Degenerate data (all items identical in every dimension): abort.
+    std::lock_guard lock(slotsMu_);
+    Slot* slot = findSlot(req.shard);
+    drainInserts(*slot->activeInserts);
+    PointSet queued(schema_.dims());
+    slot->queue->collect(queued);
+    slot->shard->bulkLoad(queued);
+    slot->queue.reset();
+    slot->busy = false;
+    fail();
+    return;
+  }
+  auto left = makeShard(shard->kind(), schema_);
+  left->bulkLoad(leftItems);
+  std::shared_ptr<Shard> right = makeShard(shard->kind(), schema_);
+  right->bulkLoad(rightItems);
+
+  SplitDone done;
+  {
+    std::lock_guard lock(slotsMu_);
+    Slot* slot = findSlot(req.shard);
+    drainInserts(*slot->activeInserts);
+    PointSet queued(schema_.dims());
+    slot->queue->collect(queued);
+    for (std::size_t i = 0; i < queued.size(); ++i) {
+      const PointRef p = queued.at(i);
+      (p.coords[h.dim] < h.cut ? *left : *right).insert(p);
+    }
+    slot->shard = std::move(left);
+    slot->queue.reset();
+    slot->busy = false;
+    slot->splits.emplace_back(h, req.newShard);
+
+    Slot rightSlot;
+    rightSlot.shard = right;
+    slots_.emplace(req.newShard, std::move(rightSlot));
+
+    done.ok = true;
+    done.left = {req.shard, id_, slot->shard->size(),
+                 slot->shard->boundingMds()};
+    done.right = {req.newShard, id_, right->size(), right->boundingMds()};
+  }
+  fabric_.send(m.from, makeMessage(Op::kSplitDone, m.corr,
+                                   workerEndpoint(id_), done.encode()));
+}
+
+void Worker::handleMigrateShard(const Message& m) {
+  const MigrateShard req = MigrateShard::decode(m.payload);
+  std::shared_ptr<Shard> shard;
+  std::shared_ptr<std::atomic<std::uint32_t>> active;
+  TransferShard xfer;
+  {
+    std::lock_guard lock(slotsMu_);
+    Slot* slot = findSlot(req.shard);
+    if (slot == nullptr || slot->busy || slot->movedTo != kNoWorker ||
+        !slot->shard || pendingMigrations_.count(req.shard) != 0) {
+      MigrateDone done{false, req.shard, req.dest};
+      fabric_.send(m.from, makeMessage(Op::kMigrateDone, m.corr,
+                                       workerEndpoint(id_), done.encode()));
+      return;
+    }
+    slot->busy = true;
+    slot->queue = makeShard(slot->shard->kind(), schema_);
+    shard = slot->shard;
+    active = slot->activeInserts;
+    xfer.splits = slot->splits;
+    pendingMigrations_[req.shard] = {req.dest, m.from, m.corr};
+  }
+  drainInserts(*active);
+  xfer.shard = req.shard;
+  xfer.blob = shard->serializeShard();
+  fabric_.send(workerEndpoint(req.dest),
+               makeMessage(Op::kTransferShard, req.shard,
+                           workerEndpoint(id_), xfer.encode()));
+}
+
+void Worker::handleTransferShard(const Message& m) {
+  const TransferShard xfer = TransferShard::decode(m.payload);
+  std::shared_ptr<Shard> shard;
+  try {
+    shard = deserializeShard(schema_, xfer.blob);
+  } catch (const DeserializeError&) {
+    return;  // corrupt transfer; the source will keep owning the shard
+  }
+  {
+    std::lock_guard lock(slotsMu_);
+    Slot slot;
+    slot.shard = std::move(shard);
+    slot.splits = xfer.splits;
+    slots_[xfer.shard] = std::move(slot);
+  }
+  ByteWriter w;
+  w.varint(xfer.shard);
+  fabric_.send(m.from, makeMessage(Op::kTransferAck, m.corr,
+                                   workerEndpoint(id_), w.take()));
+}
+
+void Worker::handleTransferAck(const Message& m) {
+  ByteReader r(m.payload);
+  const ShardId id = r.varint();
+  PendingMigration pm;
+  PointSet queued(schema_.dims());
+  {
+    std::lock_guard lock(slotsMu_);
+    auto it = pendingMigrations_.find(id);
+    if (it == pendingMigrations_.end()) return;
+    pm = it->second;
+    pendingMigrations_.erase(it);
+    Slot* slot = findSlot(id);
+    drainInserts(*slot->activeInserts);
+    slot->queue->collect(queued);
+    slot->movedTo = pm.dest;
+    slot->queue.reset();
+    slot->shard.reset();
+    slot->busy = false;
+    slot->splits.clear();  // the mapping traveled with the transfer
+  }
+  if (queued.size() > 0) {
+    ShardBatch batch;
+    batch.shard = id;
+    batch.items = std::move(queued);
+    fabric_.send(workerEndpoint(pm.dest),
+                 makeMessage(Op::kTransferItems, 0, workerEndpoint(id_),
+                             batch.encode()));
+  }
+  MigrateDone done{true, id, pm.dest};
+  fabric_.send(pm.managerEp, makeMessage(Op::kMigrateDone, pm.managerCorr,
+                                         workerEndpoint(id_),
+                                         done.encode()));
+}
+
+// ---- statistics -------------------------------------------------------------
+
+void Worker::pushStats() {
+  WorkerStats stats;
+  stats.id = id_;
+  std::vector<std::pair<ShardId, ShardInfo>> shardInfos;
+  {
+    std::lock_guard lock(slotsMu_);
+    for (const auto& [id, slot] : slots_) {
+      if (slot.movedTo != kNoWorker || !slot.shard) continue;
+      const std::uint64_t n =
+          slot.shard->size() + (slot.queue ? slot.queue->size() : 0);
+      stats.totalItems += n;
+      stats.shardCount++;
+      stats.memoryBytes += slot.shard->memoryUse();
+      ShardInfo info;
+      info.id = id;
+      info.worker = id_;
+      info.count = n;
+      info.box = slot.shard->boundingMds();
+      shardInfos.emplace_back(id, std::move(info));
+    }
+  }
+  ByteWriter w;
+  stats.serialize(w);
+  if (!zk_.set(workerPath(id_), w.data()).has_value())
+    zk_.create(workerPath(id_), w.take());
+
+  // CAS-merge per-shard count/box into the system image (SIII-B: workers
+  // update shard statistics periodically for the manager).
+  for (const auto& [id, info] : shardInfos) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      auto cur = zk_.get(shardPath(id));
+      if (!cur.has_value()) break;  // manager has not registered it yet
+      ByteReader r(cur->data);
+      ShardInfo stored = ShardInfo::deserialize(r);
+      // The owning worker's count is authoritative; the box only grows.
+      stored.mergeFrom(schema_, info, /*takeLocation=*/false,
+                       /*takeCount=*/true);
+      ByteWriter out;
+      stored.serialize(out);
+      if (zk_.set(shardPath(id), out.take(), cur->version).has_value())
+        break;
+    }
+  }
+}
+
+}  // namespace volap

@@ -1,0 +1,114 @@
+// Worker node (paper SIII-A/E): stores shards, executes insert / aggregate
+// query streams on a small thread pool, publishes shard statistics to the
+// keeper, and carries out the manager's split and migration plans using the
+// mapping-table + insertion-queue scheme of SIII-E, so queries are never
+// interrupted while a shard is being split or moved.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "cluster/protocol.hpp"
+#include "cluster/types.hpp"
+#include "common/thread_pool.hpp"
+#include "keeper/keeper.hpp"
+#include "net/fabric.hpp"
+#include "tree/shard.hpp"
+
+namespace volap {
+
+struct WorkerConfig {
+  unsigned threads = 2;  // shard-operation pool ("k parallel threads")
+  std::uint64_t statsIntervalNanos = 500'000'000;  // stats push cadence
+};
+
+class Worker {
+ public:
+  Worker(Fabric& fabric, const Schema& schema, WorkerId id,
+         WorkerConfig cfg = WorkerConfig());
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  void stop();
+
+  WorkerId id() const { return id_; }
+
+  /// Aggregate counters for diagnostics and benches.
+  std::uint64_t insertsApplied() const { return inserts_.load(); }
+  std::uint64_t queriesServed() const { return queries_.load(); }
+  /// Items addressed to a shard this worker has never heard of — always 0
+  /// in a healthy cluster; tests assert on it.
+  std::uint64_t itemsDropped() const { return dropped_.load(); }
+  std::uint64_t itemsHeld() const;
+  std::size_t shardCount() const;
+
+ private:
+  /// One shard's slot, including the in-flight split/migration overlay of
+  /// SIII-E: while `busy`, new items land in `queue` and queries consult
+  /// shard + queue; `movedTo` is the forwarding stub left after migration;
+  /// `splitRight`/`splitPlane` form the mapping-table entry M_j.
+  struct Slot {
+    std::shared_ptr<Shard> shard;
+    std::shared_ptr<Shard> queue;  // only while busy
+    bool busy = false;
+    WorkerId movedTo = kNoWorker;
+    /// Mapping-table entry M_j (SIII-E), in split order: each split of
+    /// this shard appended (hyperplane, right-child id). Resolution tests
+    /// the planes in order; a shard split k times has k entries.
+    std::vector<std::pair<Hyperplane, ShardId>> splits;
+    /// Inserts in flight against shard/queue; split and migration commits
+    /// wait for this to drain before collecting (see worker.cpp).
+    std::shared_ptr<std::atomic<std::uint32_t>> activeInserts =
+        std::make_shared<std::atomic<std::uint32_t>>(0);
+  };
+
+  struct PendingMigration {
+    WorkerId dest = kNoWorker;
+    std::string managerEp;
+    std::uint64_t managerCorr = 0;
+  };
+
+  void serve();
+  void handleInsert(const Message& m);
+  void handleQuery(const Message& m);
+  void handleBulk(const Message& m);
+  void handleCreateShard(const Message& m);
+  void handleSplitShard(const Message& m);
+  void handleMigrateShard(const Message& m);
+  void handleTransferShard(const Message& m);
+  void handleTransferAck(const Message& m);
+  void handleTransferItems(const Message& m);
+  void pushStats();
+
+  /// Resolve a shard id to the concrete structures to insert into or query,
+  /// following the mapping table. Caller holds slotsMu_.
+  Slot* findSlot(ShardId id);
+
+  Fabric& fabric_;
+  const Schema& schema_;
+  const WorkerId id_;
+  const WorkerConfig cfg_;
+  std::shared_ptr<Mailbox> inbox_;
+  KeeperClient zk_;
+  mutable std::mutex slotsMu_;
+  std::map<ShardId, Slot> slots_;
+  std::map<ShardId, PendingMigration> pendingMigrations_;
+
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  // Declared after every piece of state its tasks touch: the pool drains
+  // and joins before slots_/counters are destroyed.
+  ThreadPool pool_;
+  std::thread thread_;
+};
+
+}  // namespace volap

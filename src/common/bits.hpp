@@ -1,0 +1,65 @@
+// Bit-manipulation utilities shared by the Hilbert-curve and OLAP encoding
+// layers. All functions are constexpr and operate on unsigned 64-bit words.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace volap {
+
+/// Number of bits needed to represent values in [0, n-1]; bitWidthFor(1) == 0.
+constexpr unsigned bitWidthFor(std::uint64_t n) {
+  return n <= 1 ? 0u : static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+/// Mask with the low `n` bits set (n in [0, 64]).
+constexpr std::uint64_t lowMask(unsigned n) {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Rotate the low `width` bits of `x` right by `r` (bits above `width` must be
+/// zero; result keeps them zero). Used by the Hilbert transform T_{e,d}.
+constexpr std::uint64_t rotrBits(std::uint64_t x, unsigned r, unsigned width) {
+  if (width == 0) return 0;
+  r %= width;
+  if (r == 0) return x & lowMask(width);
+  x &= lowMask(width);
+  return ((x >> r) | (x << (width - r))) & lowMask(width);
+}
+
+/// Rotate the low `width` bits of `x` left by `r`.
+constexpr std::uint64_t rotlBits(std::uint64_t x, unsigned r, unsigned width) {
+  if (width == 0) return 0;
+  r %= width;
+  return rotrBits(x, width - r, width);
+}
+
+/// Binary-reflected Gray code.
+constexpr std::uint64_t grayCode(std::uint64_t i) { return i ^ (i >> 1); }
+
+/// Inverse of grayCode.
+constexpr std::uint64_t grayCodeInverse(std::uint64_t g) {
+  std::uint64_t i = g;
+  for (unsigned shift = 1; shift < 64; shift <<= 1) i ^= i >> shift;
+  return i;
+}
+
+/// Number of trailing one-bits. Hamilton's g(i): gc(i) ^ gc(i+1) == 1 << g(i).
+constexpr unsigned trailingOnes(std::uint64_t i) {
+  return static_cast<unsigned>(std::countr_one(i));
+}
+
+/// Hamilton's intra-subcube direction d(i) for an n-bit Gray code.
+constexpr unsigned hilbertDirection(std::uint64_t i, unsigned n) {
+  if (i == 0) return 0;
+  unsigned g = (i & 1) ? trailingOnes(i) : trailingOnes(i - 1);
+  return g % n;
+}
+
+/// Hamilton's entry point e(i) for an n-bit Gray code.
+constexpr std::uint64_t hilbertEntry(std::uint64_t i) {
+  if (i == 0) return 0;
+  return grayCode(2 * ((i - 1) / 2));
+}
+
+}  // namespace volap

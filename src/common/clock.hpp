@@ -1,0 +1,35 @@
+// Monotonic time helpers. All latency accounting in VOLAP is in nanoseconds
+// from a steady clock; wall-clock time never enters the data path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace volap {
+
+inline std::uint64_t nowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline double nanosToSeconds(std::uint64_t ns) {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+/// Simple scope timer feeding a histogram or accumulator on destruction.
+template <typename Sink>
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(Sink& sink) : sink_(sink), start_(nowNanos()) {}
+  ~ScopeTimer() { sink_.record(nowNanos() - start_); }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  Sink& sink_;
+  std::uint64_t start_;
+};
+
+}  // namespace volap

@@ -1,0 +1,85 @@
+// Unbounded multi-producer multi-consumer queue with blocking pop and
+// close semantics. This is the inbox primitive behind every net::Mailbox;
+// ZeroMQ-style fair queuing falls out of FIFO order plus one queue per
+// endpoint. Mutex-based: at simulation scale the lock is never contended
+// enough to matter, and correctness under close/shutdown is what counts.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace volap {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Returns false iff the queue is closed (item is dropped).
+  bool push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return takeLocked();
+  }
+
+  /// Blocks up to `timeout`; nullopt on timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    return takeLocked();
+  }
+
+  std::optional<T> tryPop() {
+    std::lock_guard lock(mu_);
+    return takeLocked();
+  }
+
+  /// After close(), pushes fail; pops drain remaining items then return
+  /// nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  std::optional<T> takeLocked() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    return out;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace volap

@@ -1,0 +1,150 @@
+// Deterministic, fast PRNG used throughout VOLAP: xoshiro256** seeded via
+// SplitMix64, plus samplers (uniform, Zipf, exponential, log-normal) that the
+// workload generators depend on. Not thread-safe: use one Rng per thread.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace volap {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding avoids correlated low-entropy states.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    auto rotl = [](std::uint64_t v, int k) {
+      return (v << k) | (v >> (64 - k));
+    };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless bounded sampling.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  double exponential(double mean) {
+    return -mean * std::log1p(-uniform());
+  }
+
+  double logNormal(double mu, double sigma) {
+    // Box-Muller; one value per call is fine for workload generation.
+    const double u1 = uniform();
+    const double u2 = uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log1p(-u1)) * std::cos(6.283185307179586 * u2);
+    return std::exp(mu + sigma * z);
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller.
+  double gaussian() {
+    const double u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log1p(-u1)) *
+           std::cos(6.283185307179586 * u2);
+  }
+
+  /// Poisson-distributed count: Knuth's method for small means, normal
+  /// approximation for large ones (the PBS simulator draws candidate
+  /// counts with means from 0 to tens of thousands).
+  std::uint64_t poisson(double mean) {
+    if (mean <= 0) return 0;
+    if (mean > 50) {
+      const double v = mean + std::sqrt(mean) * gaussian();
+      return v <= 0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Zipf(s) sampler over {0, .., n-1} using the rejection-inversion method of
+/// Hormann & Derflinger, O(1) per sample after O(1) setup. Skewed dimension
+/// values make realistic OLAP data: a few brands/cities dominate.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+    hx0_ = h(0.5) - 1.0;
+    hxn_ = h(static_cast<double>(n_) + 0.5);
+    dist_ = hx0_ - hxn_;
+  }
+
+  std::uint64_t operator()(Rng& rng) const {
+    if (n_ <= 1) return 0;
+    while (true) {
+      const double u = hx0_ - rng.uniform() * dist_;
+      const double x = hInverse(u);
+      auto k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      if (u >= h(static_cast<double>(k) + 0.5) - invPow(static_cast<double>(k)))
+        return k - 1;
+    }
+  }
+
+ private:
+  double invPow(double x) const { return std::exp(-s_ * std::log(x)); }
+  double h(double x) const {
+    if (s_ == 1.0) return -std::log(x);
+    return std::exp((1.0 - s_) * std::log(x)) / (1.0 - s_);
+  }
+  double hInverse(double x) const {
+    if (s_ == 1.0) return std::exp(-x);
+    return std::exp(std::log((1.0 - s_) * x) / (1.0 - s_));
+  }
+
+  std::uint64_t n_;
+  double s_;
+  double hx0_ = 0, hxn_ = 0, dist_ = 0;
+};
+
+}  // namespace volap

@@ -1,0 +1,62 @@
+// Reader-writer spinlock sized for per-tree-node use (4 bytes). The PDC tree
+// holds at most two node locks at a time (paper SIII-C), each for a handful of
+// instructions, so spinning beats parking. Writer-preference is deliberate:
+// inserts must not starve behind a stream of aggregate queries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace volap {
+
+class RwSpinLock {
+ public:
+  void lock() {
+    // Announce writer intent so new readers back off.
+    std::uint32_t expected = state_.load(std::memory_order_relaxed);
+    while (true) {
+      if ((expected & kWriterBit) == 0 &&
+          state_.compare_exchange_weak(expected, expected | kWriterBit,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        break;
+      }
+      std::this_thread::yield();
+      expected = state_.load(std::memory_order_relaxed);
+    }
+    // Wait for in-flight readers to drain.
+    while ((state_.load(std::memory_order_acquire) & kReaderMask) != 0)
+      std::this_thread::yield();
+  }
+
+  void unlock() { state_.fetch_and(~kWriterBit, std::memory_order_release); }
+
+  void lock_shared() {
+    while (true) {
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      if ((s & kWriterBit) == 0 &&
+          state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  bool try_lock() {
+    std::uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriterBit,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint32_t kWriterBit = 0x80000000u;
+  static constexpr std::uint32_t kReaderMask = 0x7fffffffu;
+  std::atomic<std::uint32_t> state_{0};
+};
+
+}  // namespace volap

@@ -1,0 +1,127 @@
+// Flat binary serialization used for shard blobs (SerializeShard /
+// DeserializeShard, paper SIII-E), keeper znode payloads, and every network
+// message. Little-endian fixed-width scalars plus LEB128 varints for counts.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace volap {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+
+  /// Unsigned LEB128; compact for the small counts that dominate metadata.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void str(std::string_view s) {
+    varint(s.size());
+    raw(s.data(), s.size());
+  }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    varint(b.size());
+    raw(b.data(), b.size());
+  }
+
+  void raw(const void* p, std::size_t n) {
+    const auto* c = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Thrown when a blob is truncated or malformed; migration/split code treats
+/// this as a protocol error and aborts the operation rather than corrupting
+/// a shard.
+class DeserializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return *need(1); }
+  std::uint16_t u16() { return scalar<std::uint16_t>(); }
+  std::uint32_t u32() { return scalar<std::uint32_t>(); }
+  std::uint64_t u64() { return scalar<std::uint64_t>(); }
+  std::int64_t i64() { return scalar<std::int64_t>(); }
+  double f64() { return scalar<double>(); }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    while (true) {
+      const std::uint8_t byte = *need(1);
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if (!(byte & 0x80)) return v;
+      shift += 7;
+      if (shift >= 64) throw DeserializeError("varint overflow");
+    }
+  }
+
+  std::string str() {
+    const auto n = varint();
+    const auto* p = need(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::vector<std::uint8_t> bytes() {
+    const auto n = varint();
+    const auto* p = need(n);
+    return std::vector<std::uint8_t>(p, p + n);
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T scalar() {
+    T v;
+    std::memcpy(&v, need(sizeof v), sizeof v);
+    return v;
+  }
+
+  const std::uint8_t* need(std::size_t n) {
+    if (pos_ + n > data_.size())
+      throw DeserializeError("truncated blob: need " + std::to_string(n) +
+                             " bytes, have " +
+                             std::to_string(data_.size() - pos_));
+    const auto* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+using Blob = std::vector<std::uint8_t>;
+
+}  // namespace volap

@@ -1,0 +1,68 @@
+// Fixed-size worker pool used for multi-threaded bulk loads and the
+// benchmark drivers. Server/worker nodes do NOT use this: they own their
+// threads directly (see cluster/) so lifecycle maps 1:1 to paper roles.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+
+namespace volap {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] {
+        while (auto task = tasks_.pop()) (*task)();
+      });
+    }
+  }
+
+  ~ThreadPool() {
+    tasks_.close();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task) { tasks_.push(std::move(task)); }
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    const unsigned lanes = size();
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      submit([&, n] {
+        std::size_t i;
+        while ((i = next.fetch_add(1)) < n) fn(i);
+        if (done.fetch_add(1) + 1 == lanes) {
+          std::lock_guard lock(mu);
+          cv.notify_one();
+        }
+      });
+    }
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return done.load() == lanes; });
+  }
+
+ private:
+  MpmcQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace volap

@@ -1,0 +1,107 @@
+// Fixed-width big unsigned integer for compact Hilbert indices. The index of
+// a d-dimensional point has sum-of-widths bits (paper SIII-D uses compact
+// Hilbert indices, citing Hamilton & Rau-Chaplin 2008, precisely to keep this
+// small); with up to 64 dimensions (Fig. 5) the total can exceed 64 bits, so
+// keys are 512-bit words compared lexicographically.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace volap {
+
+template <unsigned Bits>
+class BigUInt {
+  static_assert(Bits % 64 == 0 && Bits > 0);
+
+ public:
+  static constexpr unsigned kWords = Bits / 64;
+  static constexpr unsigned kBits = Bits;
+
+  constexpr BigUInt() = default;
+  constexpr explicit BigUInt(std::uint64_t v) { words_[0] = v; }
+
+  static constexpr BigUInt max() {
+    BigUInt v;
+    for (auto& w : v.words_) w = ~std::uint64_t{0};
+    return v;
+  }
+
+  constexpr bool isZero() const {
+    for (auto w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// Shift left by `n` bits (n < Bits) and OR in `low` (low < 2^n). This is
+  /// the only arithmetic the Hilbert index construction needs per bit-plane.
+  constexpr void shiftLeftOr(unsigned n, std::uint64_t low) {
+    if (n == 0) return;
+    const unsigned wordShift = n / 64;
+    const unsigned bitShift = n % 64;
+    for (int i = static_cast<int>(kWords) - 1; i >= 0; --i) {
+      std::uint64_t v = 0;
+      const int src = i - static_cast<int>(wordShift);
+      if (src >= 0) {
+        v = words_[static_cast<unsigned>(src)] << bitShift;
+        if (bitShift != 0 && src >= 1)
+          v |= words_[static_cast<unsigned>(src - 1)] >> (64 - bitShift);
+      }
+      words_[static_cast<unsigned>(i)] = v;
+    }
+    words_[0] |= low;
+  }
+
+  /// Extract `count` bits (count <= 64) starting at bit `pos` from the LSB.
+  constexpr std::uint64_t bits(unsigned pos, unsigned count) const {
+    if (count == 0) return 0;
+    const unsigned word = pos / 64;
+    const unsigned off = pos % 64;
+    std::uint64_t v = words_[word] >> off;
+    if (off + count > 64 && word + 1 < kWords)
+      v |= words_[word + 1] << (64 - off);
+    if (count < 64) v &= (std::uint64_t{1} << count) - 1;
+    return v;
+  }
+
+  constexpr std::uint64_t word(unsigned i) const { return words_[i]; }
+  constexpr void setWord(unsigned i, std::uint64_t v) { words_[i] = v; }
+
+  friend constexpr std::strong_ordering operator<=>(const BigUInt& a,
+                                                    const BigUInt& b) {
+    for (int i = static_cast<int>(kWords) - 1; i >= 0; --i) {
+      const auto ai = a.words_[static_cast<unsigned>(i)];
+      const auto bi = b.words_[static_cast<unsigned>(i)];
+      if (ai != bi) return ai <=> bi;
+    }
+    return std::strong_ordering::equal;
+  }
+  friend constexpr bool operator==(const BigUInt& a,
+                                   const BigUInt& b) = default;
+
+  std::string toHex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    bool started = false;
+    for (int i = static_cast<int>(kWords) - 1; i >= 0; --i) {
+      for (int nib = 15; nib >= 0; --nib) {
+        const auto d = (words_[static_cast<unsigned>(i)] >> (nib * 4)) & 0xf;
+        if (d != 0) started = true;
+        if (started) out.push_back(kDigits[d]);
+      }
+    }
+    if (!started) out = "0";
+    return out;
+  }
+
+ private:
+  std::array<std::uint64_t, kWords> words_{};
+};
+
+/// Key type used by Hilbert-ordered trees. 512 bits covers 64 dimensions at
+/// up to 8 expanded bits each, the largest configuration in the evaluation.
+using HilbertKey = BigUInt<512>;
+
+}  // namespace volap

@@ -1,0 +1,125 @@
+#include "hilbert/compact_hilbert.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace volap {
+namespace {
+
+/// Rank of the Gray-code index `w` restricted to the free dimensions in
+/// `mask`: the bits of w at set positions of mask, compacted (high to low).
+std::uint64_t grayCodeRank(std::uint64_t mask, std::uint64_t w, unsigned n) {
+  std::uint64_t r = 0;
+  for (int j = static_cast<int>(n) - 1; j >= 0; --j) {
+    if (mask & (std::uint64_t{1} << j)) r = (r << 1) | ((w >> j) & 1);
+  }
+  return r;
+}
+
+/// Inverse of grayCodeRank: reconstruct w such that the free bits of w are
+/// `r` and the constrained bits of gc(w) match the pattern `pi`.
+std::uint64_t grayCodeRankInverse(std::uint64_t mask, std::uint64_t pi,
+                                  std::uint64_t r, unsigned n, unsigned
+                                  freeBits) {
+  std::uint64_t w = 0;
+  int ri = static_cast<int>(freeBits) - 1;
+  for (int k = static_cast<int>(n) - 1; k >= 0; --k) {
+    const std::uint64_t above =
+        (k + 1 < static_cast<int>(n)) ? ((w >> (k + 1)) & 1) : 0;
+    std::uint64_t wk;
+    if (mask & (std::uint64_t{1} << k)) {
+      wk = (r >> ri) & 1;
+      --ri;
+    } else {
+      const std::uint64_t gk = (pi >> k) & 1;
+      wk = gk ^ above;
+    }
+    w |= wk << k;
+  }
+  return w;
+}
+
+}  // namespace
+
+CompactHilbertCurve::CompactHilbertCurve(std::vector<unsigned> widths)
+    : widths_(std::move(widths)) {
+  if (widths_.empty()) throw std::invalid_argument("curve needs >=1 dimension");
+  if (widths_.size() > 64)
+    throw std::invalid_argument("curve supports at most 64 dimensions");
+  for (unsigned w : widths_) {
+    if (w > 63) throw std::invalid_argument("dimension width > 63 bits");
+    maxWidth_ = std::max(maxWidth_, w);
+    totalBits_ += w;
+  }
+  if (totalBits_ > HilbertKey::kBits)
+    throw std::invalid_argument("total precision exceeds HilbertKey width");
+}
+
+HilbertKey CompactHilbertCurve::index(
+    std::span<const std::uint64_t> point) const {
+  assert(point.size() == widths_.size());
+  const unsigned n = dims();
+  HilbertKey h;
+  std::uint64_t e = 0;
+  unsigned d = 0;
+
+  for (int i = static_cast<int>(maxWidth_) - 1; i >= 0; --i) {
+    // Active dimensions at this bit plane, in the rotated frame.
+    std::uint64_t mu = 0;
+    std::uint64_t l = 0;
+    for (unsigned j = 0; j < n; ++j) {
+      if (widths_[j] > static_cast<unsigned>(i)) {
+        mu |= std::uint64_t{1} << j;
+        l |= ((point[j] >> i) & 1) << j;
+      }
+    }
+    const std::uint64_t muT = rotrBits(mu, d + 1, n);
+    const auto r = static_cast<unsigned>(std::popcount(muT));
+    const std::uint64_t lT = rotrBits(l ^ e, d + 1, n);
+    const std::uint64_t w = grayCodeInverse(lT);
+    const std::uint64_t rank = grayCodeRank(muT, w, n);
+
+    h.shiftLeftOr(r, rank);
+    e = e ^ rotlBits(hilbertEntry(w), d + 1, n);
+    d = (d + hilbertDirection(w, n) + 1) % n;
+  }
+  return h;
+}
+
+void CompactHilbertCurve::indexInverse(const HilbertKey& h,
+                                       std::span<std::uint64_t> point) const {
+  assert(point.size() == widths_.size());
+  const unsigned n = dims();
+  for (auto& p : point) p = 0;
+  std::uint64_t e = 0;
+  unsigned d = 0;
+  unsigned consumed = 0;
+
+  for (int i = static_cast<int>(maxWidth_) - 1; i >= 0; --i) {
+    std::uint64_t mu = 0;
+    for (unsigned j = 0; j < n; ++j) {
+      if (widths_[j] > static_cast<unsigned>(i)) mu |= std::uint64_t{1} << j;
+    }
+    const std::uint64_t muT = rotrBits(mu, d + 1, n);
+    const auto r = static_cast<unsigned>(std::popcount(muT));
+    const std::uint64_t pi = rotrBits(e, d + 1, n) & ~muT & lowMask(n);
+
+    consumed += r;
+    const std::uint64_t rank = h.bits(totalBits_ - consumed, r);
+    const std::uint64_t w = grayCodeRankInverse(muT, pi, rank, n, r);
+    const std::uint64_t lT = grayCode(w);
+    const std::uint64_t l = rotlBits(lT, d + 1, n) ^ e;
+    for (unsigned j = 0; j < n; ++j) {
+      if (mu & (std::uint64_t{1} << j))
+        point[j] |= ((l >> j) & 1) << i;
+    }
+
+    e = e ^ rotlBits(hilbertEntry(w), d + 1, n);
+    d = (d + hilbertDirection(w, n) + 1) % n;
+  }
+}
+
+}  // namespace volap

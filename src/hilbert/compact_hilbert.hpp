@@ -1,0 +1,41 @@
+// Compact Hilbert indices for domains with unequal side lengths, after
+// Hamilton & Rau-Chaplin, "Compact Hilbert indices: Space-filling curves for
+// domains with unequal side lengths" (IPL 105(5), 2008) — reference [40] of
+// the VOLAP paper. The index of a point in a grid with per-dimension bit
+// widths m_0..m_{n-1} uses exactly sum(m_j) bits while preserving the Hilbert
+// curve's locality, which VOLAP relies on to keep per-node key storage small
+// (paper SIII-D).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hilbert/biguint.hpp"
+
+namespace volap {
+
+class CompactHilbertCurve {
+ public:
+  /// `widths[j]` is the number of bits of dimension j (its side length is
+  /// 2^widths[j]). Dimensions of width 0 are legal and contribute no bits.
+  explicit CompactHilbertCurve(std::vector<unsigned> widths);
+
+  unsigned dims() const { return static_cast<unsigned>(widths_.size()); }
+  unsigned maxWidth() const { return maxWidth_; }
+  unsigned totalBits() const { return totalBits_; }
+  const std::vector<unsigned>& widths() const { return widths_; }
+
+  /// Compact Hilbert index of `point` (point[j] < 2^widths[j]).
+  HilbertKey index(std::span<const std::uint64_t> point) const;
+
+  /// Inverse mapping: reconstruct the point from its index.
+  void indexInverse(const HilbertKey& h, std::span<std::uint64_t> point) const;
+
+ private:
+  std::vector<unsigned> widths_;
+  unsigned maxWidth_ = 0;
+  unsigned totalBits_ = 0;
+};
+
+}  // namespace volap

@@ -1,0 +1,329 @@
+#include "keeper/keeper.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace volap {
+
+namespace {
+
+constexpr const char* kKeeperEndpoint = "keeper";
+
+// Request payload layouts (all little-endian via ByteWriter):
+//   kCreate:   str path, bytes data, u8 sequential, str watchEndpoint(unused)
+//   kSet:      str path, bytes data, i64 expectedVersion
+//   kGet:      str path, u8 watch, str watchEndpoint
+//   kChildren: str path, u8 watch, str watchEndpoint
+//   kExists:   str path, u8 watch, str watchEndpoint
+//   kDelete:   str path
+// Reply payload: u8 status, then op-specific fields.
+
+}  // namespace
+
+KeeperServer::KeeperServer(Fabric& fabric) : fabric_(fabric) {
+  inbox_ = fabric_.bind(kKeeperEndpoint);
+  nodes_.emplace("/", Znode{});
+  thread_ = std::thread([this] { serve(); });
+}
+
+KeeperServer::~KeeperServer() { stop(); }
+
+void KeeperServer::stop() {
+  inbox_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t KeeperServer::nodeCount() const {
+  std::lock_guard lock(mu_);
+  return nodes_.size();
+}
+
+std::string KeeperServer::parentOf(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void KeeperServer::serve() {
+  while (auto m = inbox_->recv()) handle(*m);
+}
+
+void KeeperServer::fireDataWatches(const std::string& path) {
+  // Called with mu_ held. One-shot, Zookeeper-style.
+  auto it = dataWatches_.find(path);
+  if (it == dataWatches_.end()) return;
+  WatchEvent e{WatchEvent::Kind::kData, path};
+  ByteWriter w;
+  e.serialize(w);
+  for (const auto& ep : it->second) {
+    Message msg;
+    msg.type = static_cast<std::uint16_t>(KeeperOp::kWatchEvent);
+    msg.from = kKeeperEndpoint;
+    msg.payload = w.data();
+    fabric_.send(ep, std::move(msg));
+  }
+  dataWatches_.erase(it);
+}
+
+void KeeperServer::fireChildWatches(const std::string& path) {
+  auto it = childWatches_.find(path);
+  if (it == childWatches_.end()) return;
+  WatchEvent e{WatchEvent::Kind::kChildren, path};
+  ByteWriter w;
+  e.serialize(w);
+  for (const auto& ep : it->second) {
+    Message msg;
+    msg.type = static_cast<std::uint16_t>(KeeperOp::kWatchEvent);
+    msg.from = kKeeperEndpoint;
+    msg.payload = w.data();
+    fabric_.send(ep, std::move(msg));
+  }
+  childWatches_.erase(it);
+}
+
+void KeeperServer::handle(const Message& m) {
+  ByteWriter reply;
+  ByteReader r(m.payload);
+  const auto op = static_cast<KeeperOp>(m.type);
+  std::lock_guard lock(mu_);
+  try {
+    switch (op) {
+      case KeeperOp::kCreate: {
+        std::string path = r.str();
+        Blob data = r.bytes();
+        const bool sequential = r.u8() != 0;
+        const std::string parent = parentOf(path);
+        auto pit = nodes_.find(parent);
+        if (pit == nodes_.end()) {
+          reply.u8(static_cast<std::uint8_t>(KeeperStatus::kNoParent));
+          break;
+        }
+        if (sequential) {
+          char suffix[16];
+          std::snprintf(suffix, sizeof suffix, "%010" PRIu64,
+                        pit->second.seqCounter++);
+          path += suffix;
+        }
+        if (nodes_.count(path) != 0) {
+          reply.u8(static_cast<std::uint8_t>(KeeperStatus::kNodeExists));
+          break;
+        }
+        Znode z;
+        z.data = std::move(data);
+        nodes_.emplace(path, std::move(z));
+        pit->second.children.insert(path.substr(parent.size() == 1
+                                                    ? 1
+                                                    : parent.size() + 1));
+        reply.u8(static_cast<std::uint8_t>(KeeperStatus::kOk));
+        reply.str(path);
+        fireDataWatches(path);
+        fireChildWatches(parent);
+        break;
+      }
+      case KeeperOp::kSet: {
+        const std::string path = r.str();
+        Blob data = r.bytes();
+        const std::int64_t expected = r.i64();
+        auto it = nodes_.find(path);
+        if (it == nodes_.end()) {
+          reply.u8(static_cast<std::uint8_t>(KeeperStatus::kNoNode));
+          break;
+        }
+        if (expected >= 0 && it->second.version != expected) {
+          reply.u8(static_cast<std::uint8_t>(KeeperStatus::kBadVersion));
+          break;
+        }
+        it->second.data = std::move(data);
+        ++it->second.version;
+        reply.u8(static_cast<std::uint8_t>(KeeperStatus::kOk));
+        reply.i64(it->second.version);
+        fireDataWatches(path);
+        break;
+      }
+      case KeeperOp::kGet: {
+        const std::string path = r.str();
+        const bool watch = r.u8() != 0;
+        const std::string watchEp = r.str();
+        auto it = nodes_.find(path);
+        if (watch && !watchEp.empty()) dataWatches_[path].insert(watchEp);
+        if (it == nodes_.end()) {
+          reply.u8(static_cast<std::uint8_t>(KeeperStatus::kNoNode));
+          break;
+        }
+        reply.u8(static_cast<std::uint8_t>(KeeperStatus::kOk));
+        reply.bytes(it->second.data);
+        reply.i64(it->second.version);
+        break;
+      }
+      case KeeperOp::kChildren: {
+        const std::string path = r.str();
+        const bool watch = r.u8() != 0;
+        const std::string watchEp = r.str();
+        auto it = nodes_.find(path);
+        if (it == nodes_.end()) {
+          reply.u8(static_cast<std::uint8_t>(KeeperStatus::kNoNode));
+          break;
+        }
+        if (watch && !watchEp.empty()) childWatches_[path].insert(watchEp);
+        reply.u8(static_cast<std::uint8_t>(KeeperStatus::kOk));
+        reply.varint(it->second.children.size());
+        for (const auto& c : it->second.children) reply.str(c);
+        break;
+      }
+      case KeeperOp::kExists: {
+        const std::string path = r.str();
+        const bool watch = r.u8() != 0;
+        const std::string watchEp = r.str();
+        if (watch && !watchEp.empty()) dataWatches_[path].insert(watchEp);
+        reply.u8(static_cast<std::uint8_t>(
+            nodes_.count(path) != 0 ? KeeperStatus::kOk
+                                    : KeeperStatus::kNoNode));
+        break;
+      }
+      case KeeperOp::kDelete: {
+        const std::string path = r.str();
+        auto it = nodes_.find(path);
+        if (it == nodes_.end() || !it->second.children.empty()) {
+          reply.u8(static_cast<std::uint8_t>(KeeperStatus::kNoNode));
+          break;
+        }
+        nodes_.erase(it);
+        const std::string parent = parentOf(path);
+        auto pit = nodes_.find(parent);
+        if (pit != nodes_.end()) {
+          pit->second.children.erase(path.substr(
+              parent.size() == 1 ? 1 : parent.size() + 1));
+        }
+        reply.u8(static_cast<std::uint8_t>(KeeperStatus::kOk));
+        fireDataWatches(path);
+        fireChildWatches(parent);
+        break;
+      }
+      default:
+        reply.u8(static_cast<std::uint8_t>(KeeperStatus::kNoNode));
+        break;
+    }
+  } catch (const DeserializeError&) {
+    reply = ByteWriter();
+    reply.u8(static_cast<std::uint8_t>(KeeperStatus::kNoNode));
+  }
+
+  Message out;
+  out.type = static_cast<std::uint16_t>(KeeperOp::kReply);
+  out.corr = m.corr;
+  out.from = kKeeperEndpoint;
+  out.payload = reply.take();
+  fabric_.send(m.from, std::move(out));
+}
+
+// ---- client ---------------------------------------------------------------
+
+KeeperClient::KeeperClient(Fabric& fabric, const std::string& owner,
+                           std::string watchEndpoint)
+    : fabric_(fabric), watchEndpoint_(std::move(watchEndpoint)) {
+  reply_ = fabric_.bind(owner + "/zk");
+}
+
+Message KeeperClient::rpc(KeeperOp op, Blob payload) {
+  Message m;
+  m.type = static_cast<std::uint16_t>(op);
+  m.corr = nextCorr_++;
+  m.from = reply_->name();
+  m.payload = std::move(payload);
+  const std::uint64_t corr = m.corr;
+  if (!fabric_.send(kKeeperEndpoint, std::move(m))) {
+    Message dead;
+    dead.payload = {static_cast<std::uint8_t>(KeeperStatus::kNoNode)};
+    return dead;
+  }
+  while (true) {
+    auto resp = reply_->recv();
+    if (!resp) {
+      Message dead;
+      dead.payload = {static_cast<std::uint8_t>(KeeperStatus::kNoNode)};
+      return dead;
+    }
+    if (resp->corr == corr) return std::move(*resp);
+    // Stale reply from an abandoned call: drop and keep waiting.
+  }
+}
+
+std::optional<std::string> KeeperClient::create(const std::string& path,
+                                                Blob data, bool sequential) {
+  ByteWriter w;
+  w.str(path);
+  w.bytes(data);
+  w.u8(sequential ? 1 : 0);
+  const Message resp = rpc(KeeperOp::kCreate, w.take());
+  ByteReader r(resp.payload);
+  if (static_cast<KeeperStatus>(r.u8()) != KeeperStatus::kOk)
+    return std::nullopt;
+  return r.str();
+}
+
+std::optional<std::int64_t> KeeperClient::set(const std::string& path,
+                                              Blob data,
+                                              std::int64_t expectedVersion) {
+  ByteWriter w;
+  w.str(path);
+  w.bytes(data);
+  w.i64(expectedVersion);
+  const Message resp = rpc(KeeperOp::kSet, w.take());
+  ByteReader r(resp.payload);
+  if (static_cast<KeeperStatus>(r.u8()) != KeeperStatus::kOk)
+    return std::nullopt;
+  return r.i64();
+}
+
+std::optional<KeeperClient::GetResult> KeeperClient::get(
+    const std::string& path, bool watch) {
+  ByteWriter w;
+  w.str(path);
+  w.u8(watch ? 1 : 0);
+  w.str(watchEndpoint_);
+  const Message resp = rpc(KeeperOp::kGet, w.take());
+  ByteReader r(resp.payload);
+  if (static_cast<KeeperStatus>(r.u8()) != KeeperStatus::kOk)
+    return std::nullopt;
+  GetResult out;
+  out.data = r.bytes();
+  out.version = r.i64();
+  return out;
+}
+
+std::optional<std::vector<std::string>> KeeperClient::children(
+    const std::string& path, bool watch) {
+  ByteWriter w;
+  w.str(path);
+  w.u8(watch ? 1 : 0);
+  w.str(watchEndpoint_);
+  const Message resp = rpc(KeeperOp::kChildren, w.take());
+  ByteReader r(resp.payload);
+  if (static_cast<KeeperStatus>(r.u8()) != KeeperStatus::kOk)
+    return std::nullopt;
+  const auto n = r.varint();
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.str());
+  return out;
+}
+
+bool KeeperClient::exists(const std::string& path, bool watch) {
+  ByteWriter w;
+  w.str(path);
+  w.u8(watch ? 1 : 0);
+  w.str(watchEndpoint_);
+  const Message resp = rpc(KeeperOp::kExists, w.take());
+  ByteReader r(resp.payload);
+  return static_cast<KeeperStatus>(r.u8()) == KeeperStatus::kOk;
+}
+
+bool KeeperClient::remove(const std::string& path) {
+  ByteWriter w;
+  w.str(path);
+  const Message resp = rpc(KeeperOp::kDelete, w.take());
+  ByteReader r(resp.payload);
+  return static_cast<KeeperStatus>(r.u8()) == KeeperStatus::kOk;
+}
+
+}  // namespace volap

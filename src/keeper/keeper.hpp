@@ -1,0 +1,140 @@
+// Coordination service standing in for Zookeeper (paper SIII-B: the system
+// image lives in Zookeeper; servers use its *watch* facility "to be
+// notified of changes without wasteful polling"). Implements the subset
+// VOLAP needs with Zookeeper semantics: a hierarchical znode tree with
+// per-node versions, compare-and-set updates, sequential nodes, and
+// one-shot watches on data and children.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace volap {
+
+/// Message opcodes; keeper traffic shares the fabric with cluster traffic,
+/// so keeper opcodes live in their own range.
+enum class KeeperOp : std::uint16_t {
+  kCreate = 0x100,
+  kSet = 0x101,
+  kGet = 0x102,
+  kChildren = 0x103,
+  kExists = 0x104,
+  kDelete = 0x105,
+  kReply = 0x110,
+  kWatchEvent = 0x111,
+};
+
+enum class KeeperStatus : std::uint8_t {
+  kOk = 0,
+  kNoNode = 1,
+  kNodeExists = 2,
+  kBadVersion = 3,
+  kNoParent = 4,
+};
+
+/// Pushed to a watcher's endpoint when a one-shot watch fires.
+struct WatchEvent {
+  enum class Kind : std::uint8_t { kData = 0, kChildren = 1 };
+  Kind kind = Kind::kData;
+  std::string path;
+
+  void serialize(ByteWriter& w) const {
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.str(path);
+  }
+  static WatchEvent deserialize(ByteReader& r) {
+    WatchEvent e;
+    e.kind = static_cast<Kind>(r.u8());
+    e.path = r.str();
+    return e;
+  }
+};
+
+/// The keeper service; owns a thread serving requests from the fabric
+/// endpoint "keeper".
+class KeeperServer {
+ public:
+  explicit KeeperServer(Fabric& fabric);
+  ~KeeperServer();
+
+  KeeperServer(const KeeperServer&) = delete;
+  KeeperServer& operator=(const KeeperServer&) = delete;
+
+  void stop();
+
+  /// Number of znodes, for tests/diagnostics.
+  std::size_t nodeCount() const;
+
+ private:
+  struct Znode {
+    Blob data;
+    std::int64_t version = 0;
+    std::set<std::string> children;
+    std::uint64_t seqCounter = 0;  // for sequential children
+  };
+
+  void serve();
+  void handle(const Message& m);
+  void fireDataWatches(const std::string& path);
+  void fireChildWatches(const std::string& path);
+  static std::string parentOf(const std::string& path);
+
+  Fabric& fabric_;
+  std::shared_ptr<Mailbox> inbox_;
+  mutable std::mutex mu_;
+  std::map<std::string, Znode> nodes_;
+  std::map<std::string, std::set<std::string>> dataWatches_;
+  std::map<std::string, std::set<std::string>> childWatches_;
+  std::thread thread_;
+};
+
+/// Synchronous client. Each client owns a private reply mailbox
+/// (`<owner>/zk`); watch events are delivered to `watchEndpoint` (normally
+/// the owner's main event-loop mailbox) as KeeperOp::kWatchEvent messages.
+class KeeperClient {
+ public:
+  KeeperClient(Fabric& fabric, const std::string& owner,
+               std::string watchEndpoint = "");
+
+  struct GetResult {
+    Blob data;
+    std::int64_t version = 0;
+  };
+
+  /// Create a znode; parent must exist. With `sequential`, a zero-padded
+  /// counter is appended and the actual path returned.
+  std::optional<std::string> create(const std::string& path, Blob data,
+                                    bool sequential = false);
+
+  /// Set data; expectedVersion -1 skips the version check. Returns the new
+  /// version, or nullopt on NoNode/BadVersion.
+  std::optional<std::int64_t> set(const std::string& path, Blob data,
+                                  std::int64_t expectedVersion = -1);
+
+  std::optional<GetResult> get(const std::string& path, bool watch = false);
+
+  std::optional<std::vector<std::string>> children(const std::string& path,
+                                                   bool watch = false);
+
+  bool exists(const std::string& path, bool watch = false);
+
+  bool remove(const std::string& path);
+
+ private:
+  Message rpc(KeeperOp op, Blob payload);
+
+  Fabric& fabric_;
+  std::string watchEndpoint_;
+  std::shared_ptr<Mailbox> reply_;
+  std::uint64_t nextCorr_ = 1;
+};
+
+}  // namespace volap

@@ -1,0 +1,113 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+
+namespace volap {
+
+Fabric::Fabric(FabricOptions opts)
+    : opts_(opts), rng_(opts.seed), dropRate_(opts.dropRate) {
+  if (opts_.latencyMeanNanos > 0 || opts_.latencyJitterNanos > 0)
+    delayThread_ = std::thread([this] { delayLoop(); });
+}
+
+Fabric::~Fabric() {
+  {
+    std::lock_guard lock(delayMu_);
+    delayStop_ = true;
+  }
+  delayCv_.notify_all();
+  if (delayThread_.joinable()) delayThread_.join();
+  std::lock_guard lock(mu_);
+  for (auto& [name, mb] : endpoints_) mb->close();
+}
+
+std::shared_ptr<Mailbox> Fabric::bind(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = endpoints_.find(name);
+  if (it != endpoints_.end()) return it->second;
+  auto mb = std::make_shared<Mailbox>(name);
+  endpoints_.emplace(name, mb);
+  return mb;
+}
+
+void Fabric::unbind(const std::string& name) {
+  std::shared_ptr<Mailbox> victim;
+  {
+    std::lock_guard lock(mu_);
+    auto it = endpoints_.find(name);
+    if (it == endpoints_.end()) return;
+    victim = it->second;
+    endpoints_.erase(it);
+  }
+  victim->close();
+}
+
+void Fabric::setDropRate(double rate) {
+  dropRate_.store(rate, std::memory_order_relaxed);
+}
+
+bool Fabric::send(const std::string& to, Message m) {
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t delay = 0;
+  {
+    std::lock_guard lock(mu_);
+    const double drop = dropRate_.load(std::memory_order_relaxed);
+    if (drop > 0 && rng_.chance(drop)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return true;  // silently eaten, like a lost datagram
+    }
+    if (opts_.latencyMeanNanos > 0 || opts_.latencyJitterNanos > 0) {
+      delay = opts_.latencyMeanNanos;
+      if (opts_.latencyJitterNanos > 0)
+        delay += rng_.below(opts_.latencyJitterNanos);
+    }
+  }
+  if (delay == 0) return deliver(to, std::move(m));
+  {
+    std::lock_guard lock(delayMu_);
+    delayHeap_.push_back({nowNanos() + delay, to, std::move(m)});
+    std::push_heap(delayHeap_.begin(), delayHeap_.end(),
+                   std::greater<Delayed>());
+  }
+  delayCv_.notify_one();
+  return true;
+}
+
+bool Fabric::deliver(const std::string& to, Message&& m) {
+  std::shared_ptr<Mailbox> mb;
+  {
+    std::lock_guard lock(mu_);
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) return false;
+    mb = it->second;
+  }
+  return mb->queue_.push(std::move(m));
+}
+
+void Fabric::delayLoop() {
+  std::unique_lock lock(delayMu_);
+  while (true) {
+    if (delayStop_) return;
+    if (delayHeap_.empty()) {
+      delayCv_.wait(lock);
+      continue;
+    }
+    const std::uint64_t now = nowNanos();
+    if (delayHeap_.front().dueNanos > now) {
+      delayCv_.wait_for(lock, std::chrono::nanoseconds(
+                                  delayHeap_.front().dueNanos - now));
+      continue;
+    }
+    std::pop_heap(delayHeap_.begin(), delayHeap_.end(),
+                  std::greater<Delayed>());
+    Delayed d = std::move(delayHeap_.back());
+    delayHeap_.pop_back();
+    lock.unlock();
+    deliver(d.to, std::move(d.msg));
+    lock.lock();
+  }
+}
+
+}  // namespace volap

@@ -1,0 +1,124 @@
+// In-process message fabric standing in for ZeroMQ (paper SIII-B). Every
+// node (server, worker, manager, keeper, client) binds a named endpoint and
+// owns an inbox; send() routes a message to the destination inbox, applying
+// an optional latency / jitter / drop model so that staleness and failure
+// behaviour of the real network can be reproduced deterministically.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace volap {
+
+struct Message {
+  std::uint16_t type = 0;  // protocol-defined opcode
+  std::uint64_t corr = 0;  // correlation id for request/reply matching
+  std::string from;        // sender endpoint, used for replies
+  Blob payload;
+};
+
+/// A node's inbox. recv() blocks; close() releases all blocked receivers.
+class Mailbox {
+ public:
+  explicit Mailbox(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  std::optional<Message> recv() { return queue_.pop(); }
+
+  template <typename Rep, typename Period>
+  std::optional<Message> recvFor(std::chrono::duration<Rep, Period> timeout) {
+    return queue_.popFor(timeout);
+  }
+
+  std::optional<Message> tryRecv() { return queue_.tryPop(); }
+
+  void close() { queue_.close(); }
+  bool closed() const { return queue_.closed(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  friend class Fabric;
+  std::string name_;
+  MpmcQueue<Message> queue_;
+};
+
+struct FabricOptions {
+  /// Mean one-way delivery latency; 0 delivers synchronously.
+  std::uint64_t latencyMeanNanos = 0;
+  /// Uniform jitter added to the mean: U(0, jitter).
+  std::uint64_t latencyJitterNanos = 0;
+  /// Probability a message is silently dropped (failure injection).
+  double dropRate = 0;
+  std::uint64_t seed = 1;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricOptions opts = FabricOptions());
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Create (or fetch) the endpoint `name` and return its mailbox.
+  std::shared_ptr<Mailbox> bind(const std::string& name);
+
+  /// Remove an endpoint; subsequent sends to it fail.
+  void unbind(const std::string& name);
+
+  /// Deliver `m` to endpoint `to`. Returns false if the endpoint does not
+  /// exist or is closed (the distributed-system analogue of ECONNREFUSED);
+  /// messages eaten by the drop model still return true, like UDP.
+  bool send(const std::string& to, Message m);
+
+  std::uint64_t sentCount() const {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t droppedCount() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Dynamically adjust the failure model (tests flip this mid-run).
+  void setDropRate(double rate);
+
+ private:
+  struct Delayed {
+    std::uint64_t dueNanos;
+    std::string to;
+    Message msg;
+    bool operator>(const Delayed& o) const { return dueNanos > o.dueNanos; }
+  };
+
+  bool deliver(const std::string& to, Message&& m);
+  void delayLoop();
+
+  FabricOptions opts_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Mailbox>> endpoints_;
+  Rng rng_;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<double> dropRate_;
+
+  // Delayed-delivery machinery, started lazily when latency > 0.
+  std::mutex delayMu_;
+  std::condition_variable delayCv_;
+  std::vector<Delayed> delayHeap_;
+  std::thread delayThread_;
+  bool delayStop_ = false;
+};
+
+}  // namespace volap

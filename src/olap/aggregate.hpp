@@ -1,0 +1,64 @@
+// The aggregate cached at every tree node and returned by queries:
+// COUNT / SUM / MIN / MAX over the measure (AVG = sum/count). Caching these
+// at all levels is what lets high-coverage queries complete without deep
+// traversal (paper SIV-D: "the Hilbert PDC tree stores aggregate values at
+// all levels in the tree").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "common/serialize.hpp"
+
+namespace volap {
+
+struct Aggregate {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void add(double measure) {
+    ++count;
+    sum += measure;
+    min = std::min(min, measure);
+    max = std::max(max, measure);
+  }
+
+  void merge(const Aggregate& o) {
+    count += o.count;
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+
+  double avg() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  bool empty() const { return count == 0; }
+
+  friend bool operator==(const Aggregate& a, const Aggregate& b) {
+    if (a.count != b.count) return false;
+    if (a.count == 0) return true;
+    return a.sum == b.sum && a.min == b.min && a.max == b.max;
+  }
+
+  void serialize(ByteWriter& w) const {
+    w.varint(count);
+    w.f64(sum);
+    w.f64(min);
+    w.f64(max);
+  }
+  static Aggregate deserialize(ByteReader& r) {
+    Aggregate a;
+    a.count = r.varint();
+    a.sum = r.f64();
+    a.min = r.f64();
+    a.max = r.f64();
+    return a;
+  }
+};
+
+}  // namespace volap

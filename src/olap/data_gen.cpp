@@ -1,0 +1,84 @@
+#include "olap/data_gen.hpp"
+#include <algorithm>
+
+namespace volap {
+
+DataGenerator::DataGenerator(const Schema& schema, std::uint64_t seed,
+                             Options opts)
+    : schema_(schema), opts_(opts), rng_(seed) {
+  samplers_.resize(schema.dims());
+  for (unsigned j = 0; j < schema.dims(); ++j) {
+    const Hierarchy& h = schema.dim(j);
+    samplers_[j].reserve(h.depth());
+    for (unsigned l = 1; l <= h.depth(); ++l)
+      samplers_[j].emplace_back(h.level(l).fanout, opts.zipfSkew);
+  }
+  scratch_.resize(schema.dims());
+  if (opts_.clusters > 0) {
+    centers_.reserve(static_cast<std::size_t>(opts_.clusters) *
+                     schema.dims());
+    for (unsigned c = 0; c < opts_.clusters; ++c)
+      for (unsigned j = 0; j < schema.dims(); ++j)
+        centers_.push_back(sampleDim(j));
+  }
+}
+
+std::uint64_t DataGenerator::sampleDim(unsigned j) {
+  const Hierarchy& h = schema_.dim(j);
+  std::uint64_t ordinal = 0;
+  for (unsigned l = 1; l <= h.depth(); ++l) {
+    const std::uint64_t fanout = h.level(l).fanout;
+    const std::uint64_t v = opts_.uniform || opts_.zipfSkew <= 0
+                                ? rng_.below(fanout)
+                                : samplers_[j][l - 1](rng_);
+    ordinal |= v << h.bitsBelow(l);
+  }
+  return ordinal;
+}
+
+PointRef DataGenerator::next() {
+  const std::uint64_t* center = nullptr;
+  if (opts_.clusters > 0 && !opts_.clusterPerDim) {
+    const std::uint64_t c =
+        opts_.clusters > 1 ? rng_.below(opts_.clusters) : 0;
+    center = centers_.data() + c * schema_.dims();
+  }
+  for (unsigned j = 0; j < schema_.dims(); ++j) {
+    const Hierarchy& h = schema_.dim(j);
+    if (opts_.clusters > 0 && opts_.clusterPerDim) {
+      const std::uint64_t c =
+          opts_.clusters > 1 ? rng_.below(opts_.clusters) : 0;
+      center = centers_.data() + c * schema_.dims();
+    }
+    if (center != nullptr && !rng_.chance(opts_.clusterSpread)) {
+      // Stay in the cluster: keep the center's upper-level prefix, vary
+      // the levels below it.
+      const unsigned pinned =
+          std::min(opts_.clusterLevels, h.depth() - (h.depth() > 1 ? 1 : 0));
+      std::uint64_t ordinal = center[j];
+      for (unsigned l = pinned + 1; l <= h.depth(); ++l) {
+        const std::uint64_t fanout = h.level(l).fanout;
+        const std::uint64_t v = opts_.uniform || opts_.zipfSkew <= 0
+                                    ? rng_.below(fanout)
+                                    : samplers_[j][l - 1](rng_);
+        const unsigned shift = h.bitsBelow(l);
+        ordinal &= ~(lowMask(h.bitsAt(l)) << shift);
+        ordinal |= v << shift;
+      }
+      scratch_[j] = ordinal;
+      continue;
+    }
+    scratch_[j] = sampleDim(j);
+  }
+  measure_ = rng_.logNormal(opts_.measureMu, opts_.measureSigma);
+  return {scratch_, measure_};
+}
+
+PointSet DataGenerator::generate(std::size_t n) {
+  PointSet ps(schema_.dims());
+  ps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ps.push(next());
+  return ps;
+}
+
+}  // namespace volap

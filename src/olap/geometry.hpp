@@ -1,0 +1,89 @@
+// Interval algebra over leaf-ordinal space. A value at level l of a
+// dimension hierarchy denotes the whole subtree below it, which under the
+// bit-packed leaf encoding (see Hierarchy) is an *aligned* interval of leaf
+// ordinals. All VOLAP geometry (MDS entries, MBRs, query boxes) reduces to
+// operations on such intervals.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/serialize.hpp"
+
+namespace volap {
+
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  // inclusive
+
+  static Interval point(std::uint64_t v) { return {v, v}; }
+
+  bool contains(std::uint64_t v) const { return lo <= v && v <= hi; }
+  bool contains(const Interval& o) const { return lo <= o.lo && o.hi <= hi; }
+  bool intersects(const Interval& o) const { return lo <= o.hi && o.lo <= hi; }
+
+  /// Length of the overlap with `o` (0 if disjoint).
+  std::uint64_t overlapLength(const Interval& o) const {
+    const std::uint64_t l = std::max(lo, o.lo);
+    const std::uint64_t h = std::min(hi, o.hi);
+    return h >= l ? h - l + 1 : 0;
+  }
+
+  std::uint64_t length() const { return hi - lo + 1; }
+
+  /// Smallest interval containing both.
+  Interval hull(const Interval& o) const {
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+
+  /// How much this interval's length grows to absorb `o`.
+  std::uint64_t enlargement(const Interval& o) const {
+    return hull(o).length() - length();
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+
+  void serialize(ByteWriter& w) const {
+    w.varint(lo);
+    w.varint(hi);
+  }
+  static Interval deserialize(ByteReader& r) {
+    Interval iv;
+    iv.lo = r.varint();
+    iv.hi = r.varint();
+    return iv;
+  }
+};
+
+/// An aligned interval: the set of leaves below one hierarchy value at a
+/// given level. `level` 0 means the whole dimension (the "All" root).
+struct HierInterval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint8_t level = 0;
+
+  Interval asInterval() const { return {lo, hi}; }
+  bool contains(std::uint64_t v) const { return lo <= v && v <= hi; }
+  bool contains(const HierInterval& o) const {
+    return lo <= o.lo && o.hi <= hi;
+  }
+  bool intersects(const Interval& o) const { return lo <= o.hi && o.lo <= hi; }
+  std::uint64_t length() const { return hi - lo + 1; }
+
+  friend bool operator==(const HierInterval&, const HierInterval&) = default;
+
+  void serialize(ByteWriter& w) const {
+    w.varint(lo);
+    w.varint(hi);
+    w.u8(level);
+  }
+  static HierInterval deserialize(ByteReader& r) {
+    HierInterval iv;
+    iv.lo = r.varint();
+    iv.hi = r.varint();
+    iv.level = r.u8();
+    return iv;
+  }
+};
+
+}  // namespace volap

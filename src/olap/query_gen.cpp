@@ -1,0 +1,107 @@
+#include "olap/query_gen.hpp"
+
+namespace volap {
+
+QueryGenerator::QueryGenerator(const Schema& schema, std::uint64_t seed)
+    : schema_(schema), rng_(seed) {}
+
+QueryBox QueryGenerator::random(const PointSet& anchors) {
+  QueryBox q(schema_);
+  if (anchors.empty()) return q;
+  // Anchoring constraints on a real item makes queries hit populated
+  // regions; the number of constrained dimensions and their levels control
+  // the coverage spread.
+  const PointRef anchor = anchors.at(rng_.below(anchors.size()));
+  if (rng_.chance(0.3)) {
+    // Single shallow constraint: with skewed data these aggregate large
+    // fractions of the database (the medium/high coverage population).
+    const unsigned j = static_cast<unsigned>(rng_.below(schema_.dims()));
+    q.constrainAncestor(schema_, j, anchor.coords[j], 1);
+    return q;
+  }
+  // Constrain k dimensions, k skewed toward small values so that large
+  // coverages (few constraints) are well represented.
+  const unsigned d = schema_.dims();
+  unsigned k = 0;
+  double p = 0.55;
+  for (unsigned j = 0; j < d; ++j) {
+    if (rng_.chance(p)) ++k;
+    p *= 0.85;
+  }
+  for (unsigned taken = 0; taken < k; ++taken) {
+    const unsigned j = static_cast<unsigned>(rng_.below(d));
+    const unsigned depth = schema_.dim(j).depth();
+    // Shallow levels (big subtrees) are more likely than deep ones.
+    unsigned level = 1;
+    while (level < depth && rng_.chance(0.4)) ++level;
+    q.constrainAncestor(schema_, j, anchor.coords[j], level);
+  }
+  return q;
+}
+
+QueryBox QueryGenerator::anchoredAllDims(const PointSet& anchors,
+                                         unsigned level) {
+  QueryBox q(schema_);
+  if (anchors.empty()) return q;
+  const PointRef anchor = anchors.at(rng_.below(anchors.size()));
+  for (unsigned j = 0; j < schema_.dims(); ++j) {
+    const unsigned l = std::min(level, schema_.dim(j).depth());
+    q.constrainAncestor(schema_, j, anchor.coords[j], l);
+  }
+  return q;
+}
+
+QueryBox QueryGenerator::nearMiss(const PointSet& anchors, unsigned level,
+                                  unsigned misses) {
+  QueryBox q = anchoredAllDims(anchors, level);
+  if (anchors.empty()) return q;
+  for (unsigned k = 0; k < misses; ++k) {
+    const unsigned j = static_cast<unsigned>(rng_.below(schema_.dims()));
+    const Hierarchy& h = schema_.dim(j);
+    const unsigned l = std::min(level, h.depth());
+    // Replace the level-l value with a random sibling under the same
+    // level-(l-1) parent.
+    const std::uint64_t anchor =
+        anchors.at(rng_.below(anchors.size())).coords[j];
+    const HierInterval parent = h.ancestorInterval(anchor, l - 1);
+    const std::uint64_t span = std::uint64_t{1} << h.bitsBelow(l);
+    const std::uint64_t siblings = parent.length() / span;
+    const std::uint64_t pick = rng_.below(siblings);
+    q.constrainAncestor(schema_, j, parent.lo + pick * span, l);
+  }
+  return q;
+}
+
+double QueryGenerator::coverage(const QueryBox& q, const PointSet& data) {
+  if (data.empty()) return 0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (q.contains(data.at(i))) ++hit;
+  return static_cast<double>(hit) / static_cast<double>(data.size());
+}
+
+std::vector<std::vector<QueryGenerator::BinnedQuery>>
+QueryGenerator::generateBands(const PointSet& sample, std::size_t perBand,
+                              std::size_t maxAttempts) {
+  std::vector<std::vector<BinnedQuery>> bands(3);
+  // Binning by true coverage only needs a statistically stable estimate;
+  // a bounded subsample keeps generation cheap (the paper bins against the
+  // database once, offline).
+  PointSet subsample(sample.dims());
+  const std::size_t limit = std::min<std::size_t>(sample.size(), 4000);
+  for (std::size_t i = 0; i < limit; ++i) subsample.push(sample.at(i));
+  for (std::size_t attempt = 0;
+       attempt < maxAttempts &&
+       (bands[0].size() < perBand || bands[1].size() < perBand ||
+        bands[2].size() < perBand);
+       ++attempt) {
+    QueryBox q = random(sample);
+    const double cov = coverage(q, subsample);
+    if (cov == 0) continue;  // paper bins by true coverage; empty is useless
+    auto& band = bands[static_cast<std::size_t>(coverageBandOf(cov))];
+    if (band.size() < perBand) band.push_back({std::move(q), cov});
+  }
+  return bands;
+}
+
+}  // namespace volap

@@ -1,0 +1,80 @@
+// Query generator following the paper's methodology (SIV, preamble):
+// "Queries are randomly generated to span a wide range of coverages, and
+// specify values at various levels in all dimensions. Generated queries are
+// tested against the database and binned according to their true coverage.
+// During benchmarking, queries are chosen uniformly at random from the
+// appropriate bin."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "olap/point.hpp"
+#include "olap/query_box.hpp"
+#include "olap/schema.hpp"
+
+namespace volap {
+
+/// Coverage bands used throughout the evaluation (papers Figs. 4, 7, 8).
+enum class CoverageBand { kLow, kMedium, kHigh };
+
+inline const char* coverageBandName(CoverageBand b) {
+  switch (b) {
+    case CoverageBand::kLow: return "low";
+    case CoverageBand::kMedium: return "medium";
+    case CoverageBand::kHigh: return "high";
+  }
+  return "?";
+}
+
+/// Band of a coverage fraction: low <33%, medium 33-66%, high >66%.
+inline CoverageBand coverageBandOf(double coverage) {
+  if (coverage < 1.0 / 3.0) return CoverageBand::kLow;
+  if (coverage <= 2.0 / 3.0) return CoverageBand::kMedium;
+  return CoverageBand::kHigh;
+}
+
+class QueryGenerator {
+ public:
+  QueryGenerator(const Schema& schema, std::uint64_t seed);
+
+  /// Random query: each dimension is left unconstrained with some
+  /// probability, else constrained to an ancestor (at a random level) of a
+  /// randomly chosen anchor item, so queries land on populated regions.
+  QueryBox random(const PointSet& anchors);
+
+  /// A query constraining EVERY dimension to the level-`level` ancestor of
+  /// one anchor item (the paper's "values at various levels in all
+  /// dimensions" style; the regime of the Fig. 5 dimension sweep).
+  QueryBox anchoredAllDims(const PointSet& anchors, unsigned level = 1);
+
+  /// Like anchoredAllDims, but `misses` of the dimensions are moved to a
+  /// random *sibling* value at the given level — typically a sparse or
+  /// empty region. Such "near miss" exploratory queries are where key
+  /// tightness pays: a tight key proves emptiness at the root, a loose
+  /// hull forces a full traversal.
+  QueryBox nearMiss(const PointSet& anchors, unsigned level = 1,
+                    unsigned misses = 1);
+
+  /// Exact fraction of `data` covered by `q`.
+  static double coverage(const QueryBox& q, const PointSet& data);
+
+  /// A query with measured coverage plus its band.
+  struct BinnedQuery {
+    QueryBox box;
+    double coverage = 0;
+  };
+
+  /// Generate queries until each band holds `perBand` entries (or the
+  /// attempt budget runs out); coverage is measured against `sample`.
+  std::vector<std::vector<BinnedQuery>> generateBands(
+      const PointSet& sample, std::size_t perBand,
+      std::size_t maxAttempts = 30000);
+
+ private:
+  const Schema& schema_;
+  Rng rng_;
+};
+
+}  // namespace volap

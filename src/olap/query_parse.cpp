@@ -1,0 +1,121 @@
+#include "olap/query_parse.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace volap {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool equalsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+unsigned findDimension(const Schema& schema, std::string_view name) {
+  for (unsigned j = 0; j < schema.dims(); ++j) {
+    if (equalsIgnoreCase(schema.dim(j).name(), name)) return j;
+  }
+  throw QueryParseError("unknown dimension '" + std::string(name) + "'");
+}
+
+std::uint64_t parseValue(std::string_view token, std::uint64_t fanout,
+                         const std::string& where) {
+  if (token.empty()) throw QueryParseError("empty value in " + where);
+  std::uint64_t v = 0;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      throw QueryParseError("non-numeric value '" + std::string(token) +
+                            "' in " + where);
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (v >= (std::uint64_t{1} << 62))
+      throw QueryParseError("value overflow in " + where);
+  }
+  if (v >= fanout)
+    throw QueryParseError("value " + std::to_string(v) + " out of range in " +
+                          where + " (fanout " + std::to_string(fanout) + ")");
+  return v;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const auto pos = s.find(sep);
+    if (pos == std::string_view::npos) {
+      out.push_back(trim(s));
+      return out;
+    }
+    out.push_back(trim(s.substr(0, pos)));
+    s.remove_prefix(pos + 1);
+  }
+}
+
+}  // namespace
+
+QueryBox parseQuery(const Schema& schema, std::string_view text) {
+  QueryBox q(schema);
+  text = trim(text);
+  if (text.empty() || text == "*") return q;
+
+  for (std::string_view clause : split(text, '&')) {
+    if (clause.empty()) throw QueryParseError("empty constraint");
+    const auto eq = clause.find('=');
+    if (eq == std::string_view::npos)
+      throw QueryParseError("constraint '" + std::string(clause) +
+                            "' is missing '='");
+    const std::string_view name = trim(clause.substr(0, eq));
+    const std::string_view rhs = trim(clause.substr(eq + 1));
+    const unsigned j = findDimension(schema, name);
+    const Hierarchy& h = schema.dim(j);
+    const std::string where = "dimension '" + h.name() + "'";
+
+    const auto tokens = split(rhs, '/');
+    if (tokens.size() > h.depth())
+      throw QueryParseError("path deeper than " + where + " (depth " +
+                            std::to_string(h.depth()) + ")");
+    std::vector<std::uint64_t> path;
+    path.reserve(tokens.size());
+    for (std::size_t l = 0; l < tokens.size(); ++l) {
+      path.push_back(parseValue(tokens[l],
+                                h.level(static_cast<unsigned>(l) + 1).fanout,
+                                where));
+    }
+    q.constrain(schema, j, path);
+  }
+  return q;
+}
+
+std::string formatQuery(const Schema& schema, const QueryBox& q) {
+  std::string out;
+  for (unsigned j = 0; j < q.dims(); ++j) {
+    const HierInterval& iv = q.dim(j);
+    if (iv.level == 0) continue;
+    const Hierarchy& h = schema.dim(j);
+    if (!out.empty()) out += " & ";
+    out += h.name() + "=";
+    // Decode the prefix path from the interval's lower bound.
+    std::vector<std::uint64_t> values(h.depth());
+    h.decodeLeaf(iv.lo, values);
+    for (unsigned l = 1; l <= iv.level; ++l) {
+      if (l > 1) out += "/";
+      out += std::to_string(values[l - 1]);
+    }
+  }
+  return out.empty() ? "*" : out;
+}
+
+}  // namespace volap

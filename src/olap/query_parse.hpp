@@ -1,0 +1,37 @@
+// Textual query syntax for tools and the interactive CLI:
+//
+//   <query>      ::= "*" | <constraint> ( "&" <constraint> )*
+//   <constraint> ::= <dim> ( "." <level> )* "=" <value> ( "/" <value> )*
+//
+// A constraint names a dimension and a path of hierarchy values from level
+// 1 downward, e.g.  Date=3/7  ("year 3, month 7": aggregate that whole
+// month) or  Store=1  ("country 1"). Dimension and level names are matched
+// case-insensitively; values are integers below the level's fanout.
+//
+//   Store=2 & Date=3/7          -> country 2, year 3 month 7
+//   *                           -> the whole database
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "olap/query_box.hpp"
+#include "olap/schema.hpp"
+
+namespace volap {
+
+class QueryParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse `text` into a QueryBox over `schema`. Throws QueryParseError with
+/// a human-readable message on malformed input.
+QueryBox parseQuery(const Schema& schema, std::string_view text);
+
+/// Inverse-ish: render a QueryBox back to the textual syntax (best effort;
+/// constraints are printed as level paths).
+std::string formatQuery(const Schema& schema, const QueryBox& q);
+
+}  // namespace volap

@@ -1,0 +1,99 @@
+#include "olap/schema.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace volap {
+
+Schema::Schema(std::vector<Hierarchy> dims) : dims_(std::move(dims)) {
+  if (dims_.empty()) throw std::invalid_argument("schema needs >=1 dimension");
+  for (const auto& h : dims_) maxDepth_ = std::max(maxDepth_, h.depth());
+
+  levelWidth_.assign(maxDepth_, 0);
+  for (const auto& h : dims_) {
+    for (unsigned l = 1; l <= h.depth(); ++l)
+      levelWidth_[l - 1] = std::max(levelWidth_[l - 1], h.bitsAt(l));
+  }
+
+  expandedBits_.reserve(dims_.size());
+  std::vector<unsigned> widths;
+  widths.reserve(dims_.size());
+  for (const auto& h : dims_) {
+    unsigned bits = 0;
+    for (unsigned l = 1; l <= h.depth(); ++l) bits += levelWidth_[l - 1];
+    expandedBits_.push_back(bits);
+    widths.push_back(bits);
+  }
+  curve_ = std::make_shared<CompactHilbertCurve>(std::move(widths));
+}
+
+void Schema::expandPoint(std::span<const std::uint64_t> packed,
+                         std::span<std::uint64_t> expanded) const {
+  assert(packed.size() == dims_.size());
+  assert(expanded.size() == dims_.size());
+  for (unsigned j = 0; j < dims(); ++j) {
+    const Hierarchy& h = dims_[j];
+    std::uint64_t out = 0;
+    for (unsigned l = 1; l <= h.depth(); ++l) {
+      const unsigned bits = h.bitsAt(l);
+      const std::uint64_t value =
+          (packed[j] >> h.bitsBelow(l)) & lowMask(bits);
+      // Left-align the value within the level's common width (Fig. 3): a
+      // level-l ID occupies levelWidth(l) bits in every dimension.
+      const unsigned width = levelWidth_[l - 1];
+      out = (out << width) | (value << (width - bits));
+    }
+    expanded[j] = out;
+  }
+}
+
+HilbertKey Schema::hilbertKey(std::span<const std::uint64_t> packed) const {
+  std::uint64_t expanded[64];
+  expandPoint(packed, std::span<std::uint64_t>(expanded, dims()));
+  return curve_->index(std::span<const std::uint64_t>(expanded, dims()));
+}
+
+Schema Schema::tpcds() {
+  std::vector<Hierarchy> dims;
+  dims.emplace_back("Store", std::vector<LevelSpec>{{"Country", 8},
+                                                    {"State", 10},
+                                                    {"City", 20},
+                                                    {"Name", 10}});
+  dims.emplace_back("Customer", std::vector<LevelSpec>{{"Country", 8},
+                                                       {"State", 10},
+                                                       {"City", 20},
+                                                       {"Ordered", 50}});
+  dims.emplace_back("Item", std::vector<LevelSpec>{{"Category", 10},
+                                                   {"Class", 8},
+                                                   {"Brand", 25},
+                                                   {"Ordered", 40}});
+  dims.emplace_back("Date", std::vector<LevelSpec>{{"Year", 16},
+                                                   {"Month", 12},
+                                                   {"Day", 31}});
+  dims.emplace_back("CustomerBirth", std::vector<LevelSpec>{{"BYear", 64},
+                                                            {"BMonth", 12},
+                                                            {"BDay", 31}});
+  dims.emplace_back("Household", std::vector<LevelSpec>{{"IncomeBand", 20},
+                                                        {"Ordered", 100}});
+  dims.emplace_back("Promotion", std::vector<LevelSpec>{{"Name", 50},
+                                                        {"Ordered", 20}});
+  dims.emplace_back("Time", std::vector<LevelSpec>{{"Hour", 24},
+                                                   {"Minute", 60}});
+  return Schema(std::move(dims));
+}
+
+Schema Schema::synthetic(unsigned d, unsigned depth, std::uint64_t fanout) {
+  if (d == 0) throw std::invalid_argument("need >=1 dimension");
+  std::vector<Hierarchy> dims;
+  dims.reserve(d);
+  for (unsigned j = 0; j < d; ++j) {
+    std::vector<LevelSpec> levels;
+    levels.reserve(depth);
+    for (unsigned l = 1; l <= depth; ++l)
+      levels.push_back({"L" + std::to_string(l), fanout});
+    dims.emplace_back("D" + std::to_string(j), std::move(levels));
+  }
+  return Schema(std::move(dims));
+}
+
+}  // namespace volap

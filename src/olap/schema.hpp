@@ -1,0 +1,65 @@
+// A Schema is the ordered set of dimension hierarchies plus the Fig. 3
+// "ID expansion" transform that maps items into the coordinate space used
+// for compact Hilbert indices: each level is left-shifted so that it spans
+// the same numeric range in every dimension, and the dimension tag is
+// dropped (dimensions are separate curve axes here, which achieves the same
+// effect). Only the Hilbert-mapping copy is transformed; tree keys keep the
+// untouched packed IDs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hilbert/compact_hilbert.hpp"
+#include "olap/hierarchy.hpp"
+
+namespace volap {
+
+class Schema {
+ public:
+  explicit Schema(std::vector<Hierarchy> dims);
+
+  unsigned dims() const { return static_cast<unsigned>(dims_.size()); }
+  const Hierarchy& dim(unsigned j) const { return dims_[j]; }
+  const std::vector<Hierarchy>& hierarchies() const { return dims_; }
+
+  /// Max level count over all dimensions.
+  unsigned maxDepth() const { return maxDepth_; }
+  /// Max bits of any dimension's value at level l (the common range all
+  /// dimensions are expanded to; Fig. 3).
+  unsigned levelWidth(unsigned l) const { return levelWidth_[l - 1]; }
+  /// Expanded coordinate width of dimension j: sum of levelWidth over its
+  /// levels.
+  unsigned expandedBits(unsigned j) const { return expandedBits_[j]; }
+
+  /// Fig. 3 transform of one item: packed leaf ordinals -> expanded
+  /// coordinates suitable for the compact Hilbert curve.
+  void expandPoint(std::span<const std::uint64_t> packed,
+                   std::span<std::uint64_t> expanded) const;
+
+  /// The compact Hilbert curve over the expanded coordinate space.
+  const CompactHilbertCurve& curve() const { return *curve_; }
+
+  /// Hilbert key of an item given its packed coordinates.
+  HilbertKey hilbertKey(std::span<const std::uint64_t> packed) const;
+
+  /// The 8 hierarchical TPC-DS dimensions of paper Fig. 1.
+  static Schema tpcds();
+
+  /// Synthetic schema for the Fig. 5 dimension sweep: `d` dimensions, each
+  /// with `depth` levels of the given fanout.
+  static Schema synthetic(unsigned d, unsigned depth = 2,
+                          std::uint64_t fanout = 8);
+
+ private:
+  std::vector<Hierarchy> dims_;
+  unsigned maxDepth_ = 0;
+  std::vector<unsigned> levelWidth_;
+  std::vector<unsigned> expandedBits_;
+  std::shared_ptr<const CompactHilbertCurve> curve_;
+};
+
+}  // namespace volap

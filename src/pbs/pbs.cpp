@@ -1,0 +1,83 @@
+#include "pbs/pbs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace volap {
+
+PbsSimulator::PbsSimulator(const PbsConfig& cfg) : cfg_(cfg) {}
+
+std::uint64_t PbsSimulator::sampleLatency(const LatencyHistogram* h, Rng& rng,
+                                          std::uint64_t fallback) const {
+  if (h == nullptr || h->count() == 0) {
+    // No measurements supplied: exponential around the fallback mean.
+    return static_cast<std::uint64_t>(
+        rng.exponential(static_cast<double>(fallback)));
+  }
+  return h->sampleNanos(rng.uniform());
+}
+
+PbsSimulator::Result PbsSimulator::run(double elapsedSeconds) const {
+  Rng rng(cfg_.seed ^ static_cast<std::uint64_t>(elapsedSeconds * 1e6));
+  Result out;
+  const double elapsedNanos = elapsedSeconds * 1e9;
+  // Thinned sampling: only inserts that are both inside the query region
+  // (rate x coverage) AND inside a miss window can be missed at all, so
+  // the Poisson stream is restricted to those candidates instead of
+  // iterating every insert in the horizon.
+  const double coveredRate = cfg_.insertRatePerSec * cfg_.coverage;
+
+  // (a) In-flight window: an insert of age a is missed iff its apply time
+  // exceeds a + route; ages beyond the slowest apply latency are safe.
+  const double maxApplyNanos =
+      cfg_.insertLatency != nullptr && cfg_.insertLatency->count() > 0
+          ? static_cast<double>(cfg_.insertLatency->quantileNanos(0.9999)) /
+                2.0
+          : 10.0 * static_cast<double>(cfg_.fallbackInsertNanos);
+  // (b) Routing window: an expansion is invisible until its sync push +
+  // watch fan-out lands, at most syncInterval + watchLatency.
+  const double maxPropNanos = static_cast<double>(cfg_.syncIntervalNanos +
+                                                  cfg_.watchLatencyNanos);
+
+  const double winA = std::max(0.0, maxApplyNanos - elapsedNanos);
+  const double winB = std::max(0.0, maxPropNanos - elapsedNanos);
+  const double meanA = coveredRate * winA / 1e9;
+  const double meanB = coveredRate * cfg_.pExpand * winB / 1e9;
+
+  std::array<std::uint64_t, 5> histo{};
+  double totalMissed = 0;
+
+  for (std::uint64_t trial = 0; trial < cfg_.trials; ++trial) {
+    // The query's own routing delay: time until workers execute it.
+    const double routeNanos = static_cast<double>(
+        sampleLatency(cfg_.queryLatency, rng, cfg_.fallbackQueryNanos) / 2);
+    unsigned missed = 0;
+
+    const std::uint64_t nA = rng.poisson(meanA);
+    for (std::uint64_t i = 0; i < nA; ++i) {
+      const double age = elapsedNanos + rng.uniform() * winA;
+      const double applyNanos = static_cast<double>(
+          sampleLatency(cfg_.insertLatency, rng, cfg_.fallbackInsertNanos) /
+          2);
+      if (applyNanos > age + routeNanos) ++missed;
+    }
+    const std::uint64_t nB = rng.poisson(meanB);
+    for (std::uint64_t i = 0; i < nB; ++i) {
+      const double age = elapsedNanos + rng.uniform() * winB;
+      const double propagation =
+          rng.uniform() * static_cast<double>(cfg_.syncIntervalNanos) +
+          static_cast<double>(cfg_.watchLatencyNanos);
+      if (propagation > age) ++missed;
+    }
+    totalMissed += missed;
+    ++histo[std::min<unsigned>(missed, 4)];
+  }
+
+  out.meanMissed = totalMissed / static_cast<double>(cfg_.trials);
+  for (std::size_t k = 0; k < histo.size(); ++k)
+    out.probK[k] =
+        static_cast<double>(histo[k]) / static_cast<double>(cfg_.trials);
+  return out;
+}
+
+}  // namespace volap

@@ -1,0 +1,69 @@
+// Probabilistically Bounded Staleness simulator (paper SIV-F, citing Bailis
+// et al. [8]). The paper estimates cross-server query freshness with "a
+// simulation ... using TPC-DS data and the query and insert latency
+// distributions observed for VOLAP"; this module is that simulator. It
+// models the two ways a query issued on server B can miss an insert issued
+// earlier on server A:
+//
+//  (a) in-flight miss — the insert has not reached its worker's shard by
+//      the time the worker executes the query (bounded by path latencies,
+//      the dominant effect; vanishes within ~0.25 s);
+//  (b) routing miss — the insert expanded a shard's bounding box on A and
+//      the expansion has not yet propagated to B through the keeper, so B
+//      never routes the query to that shard (bounded by the configurable
+//      sync interval, default 3 s — the paper's "always ... under 3
+//      seconds" observation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+
+namespace volap {
+
+struct PbsConfig {
+  double insertRatePerSec = 50'000;
+  double coverage = 0.5;  // fraction of the database the query aggregates
+  std::uint64_t syncIntervalNanos = 3'000'000'000;
+  /// Probability an insert grows a routing box (measured from server
+  /// stats: boxExpansions / insertsRouted). Decays toward zero as the
+  /// database matures, which is why routing misses are rare.
+  double pExpand = 0.001;
+  /// Measured latency distributions (client-observed round trips).
+  const LatencyHistogram* insertLatency = nullptr;
+  const LatencyHistogram* queryLatency = nullptr;
+  /// Keeper watch fan-out delay added to the sync wait.
+  std::uint64_t watchLatencyNanos = 2'000'000;
+  /// Fallback one-way mean latencies used when no measured histogram is
+  /// supplied (exponential model); defaults approximate the paper's EC2
+  /// deployment under load.
+  std::uint64_t fallbackInsertNanos = 100'000'000;
+  std::uint64_t fallbackQueryNanos = 60'000'000;
+  std::uint64_t trials = 20'000;
+  std::uint64_t seed = 0x5eed;
+};
+
+class PbsSimulator {
+ public:
+  explicit PbsSimulator(const PbsConfig& cfg);
+
+  struct Result {
+    double meanMissed = 0;
+    /// P(exactly k inserts missed), k = 0..3, and P(>=4) in [4].
+    std::array<double, 5> probK{};
+  };
+
+  /// Monte-Carlo estimate for a query issued `elapsedSeconds` after the
+  /// insert stream stops being "fresh" (the paper's elapsed time t2 - t1).
+  Result run(double elapsedSeconds) const;
+
+ private:
+  std::uint64_t sampleLatency(const LatencyHistogram* h, Rng& rng,
+                              std::uint64_t fallback) const;
+
+  PbsConfig cfg_;
+};
+
+}  // namespace volap

@@ -1,0 +1,111 @@
+// The "simple array" shard of paper SIII-D: a flat structure-of-arrays
+// store with linear-scan queries. It is both the benchmarking baseline and
+// the differential-testing oracle for every tree variant.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "common/rwspin.hpp"
+#include "tree/shard.hpp"
+#include "tree/shard_tree.hpp"
+
+namespace volap {
+
+class ArrayShard final : public Shard {
+ public:
+  explicit ArrayShard(const Schema& schema)
+      : schema_(schema), items_(schema.dims()) {}
+
+  ShardKind kind() const override { return ShardKind::kArray; }
+  unsigned dims() const override { return schema_.dims(); }
+
+  void insert(PointRef p) override {
+    lock_.lock();
+    items_.push(p);
+    bounds_.expand(schema_, p);
+    lock_.unlock();
+  }
+
+  void bulkLoad(const PointSet& batch) override {
+    lock_.lock();
+    items_.reserve(items_.size() + batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      items_.push(batch.at(i));
+      bounds_.expand(schema_, batch.at(i));
+    }
+    lock_.unlock();
+  }
+
+  Aggregate query(const QueryBox& q) const override {
+    Aggregate out;
+    lock_.lock_shared();
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      const PointRef p = items_.at(i);
+      if (q.contains(p)) out.add(p.measure);
+    }
+    lock_.unlock_shared();
+    return out;
+  }
+
+  std::size_t size() const override {
+    lock_.lock_shared();
+    const std::size_t n = items_.size();
+    lock_.unlock_shared();
+    return n;
+  }
+
+  MdsKey boundingMds() const override {
+    lock_.lock_shared();
+    MdsKey k = bounds_;
+    lock_.unlock_shared();
+    return k;
+  }
+
+  Hyperplane splitQuery() const override {
+    lock_.lock_shared();
+    const Hyperplane h =
+        ShardTree<MdsKey>::balancedHyperplane(schema_, items_);
+    lock_.unlock_shared();
+    return h;
+  }
+
+  std::unique_ptr<Shard> split(const Hyperplane& h) override {
+    auto right = std::make_unique<ArrayShard>(schema_);
+    lock_.lock();
+    PointSet left(schema_.dims());
+    MdsKey leftBounds;
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      const PointRef p = items_.at(i);
+      if (p.coords[h.dim] < h.cut) {
+        left.push(p);
+        leftBounds.expand(schema_, p);
+      } else {
+        right->items_.push(p);
+        right->bounds_.expand(schema_, p);
+      }
+    }
+    items_ = std::move(left);
+    bounds_ = std::move(leftBounds);
+    lock_.unlock();
+    return right;
+  }
+
+  void collect(PointSet& out) const override {
+    lock_.lock_shared();
+    for (std::size_t i = 0; i < items_.size(); ++i) out.push(items_.at(i));
+    lock_.unlock_shared();
+  }
+
+  std::size_t memoryUse() const override {
+    return size() * (schema_.dims() * 8 + 8);
+  }
+
+ private:
+  const Schema& schema_;
+  mutable RwSpinLock lock_;
+  PointSet items_;
+  MdsKey bounds_;
+};
+
+}  // namespace volap

@@ -1,0 +1,74 @@
+// Guttman quadratic node-split over arbitrary key types (MDS or MBR).
+// Shared by the geometric shard trees (SIII-D) and the server's local-image
+// index (SIII-C), both of which split overflowing directory nodes the same
+// way.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "olap/schema.hpp"
+
+namespace volap {
+
+/// Assign each key to one of two groups (false = left, true = right),
+/// seeding with the pair that wastes the most volume when merged and
+/// keeping a 40% minimum fill. Requires keys.size() >= 2.
+template <typename Key>
+std::vector<bool> quadraticSplitAssign(const Schema& schema,
+                                       const std::vector<Key>& keys) {
+  const std::size_t n = keys.size();
+  const std::size_t minFill = std::max<std::size_t>(1, n * 2 / 5);
+  std::size_t seedA = 0, seedB = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      Key m = keys[i];
+      m.merge(schema, keys[j]);
+      const double waste = m.volume(schema) - keys[i].volume(schema) -
+                           keys[j].volume(schema);
+      if (waste > worst) {
+        worst = waste;
+        seedA = i;
+        seedB = j;
+      }
+    }
+  }
+  std::vector<bool> toRight(n, false);
+  Key keyL = keys[seedA], keyR = keys[seedB];
+  std::size_t cntL = 1, cntR = 1;
+  toRight[seedB] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == seedA || i == seedB) continue;
+    const std::size_t remaining = n - (cntL + cntR);
+    if (cntL + remaining == minFill) {  // left must take all the rest
+      keyL.merge(schema, keys[i]);
+      ++cntL;
+      continue;
+    }
+    if (cntR + remaining == minFill) {
+      keyR.merge(schema, keys[i]);
+      toRight[i] = true;
+      ++cntR;
+      continue;
+    }
+    Key candL = keyL, candR = keyR;
+    candL.merge(schema, keys[i]);
+    candR.merge(schema, keys[i]);
+    const double growL = candL.volume(schema) - keyL.volume(schema);
+    const double growR = candR.volume(schema) - keyR.volume(schema);
+    const bool right = growR < growL || (growR == growL && cntR < cntL);
+    if (right) {
+      keyR = std::move(candR);
+      toRight[i] = true;
+      ++cntR;
+    } else {
+      keyL = std::move(candL);
+      ++cntL;
+    }
+  }
+  return toRight;
+}
+
+}  // namespace volap

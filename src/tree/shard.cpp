@@ -1,0 +1,94 @@
+#include "tree/shard.hpp"
+
+#include <stdexcept>
+
+#include "olap/mbr.hpp"
+#include "tree/array_shard.hpp"
+#include "tree/shard_tree.hpp"
+#include "tree/tree_config.hpp"
+
+namespace volap {
+
+const char* shardKindName(ShardKind k) {
+  switch (k) {
+    case ShardKind::kArray: return "array";
+    case ShardKind::kPdcMds: return "pdc-mds";
+    case ShardKind::kPdcMbr: return "pdc-mbr";
+    case ShardKind::kHilbertPdcMds: return "hilbert-pdc-mds";
+    case ShardKind::kHilbertPdcMbr: return "hilbert-pdc-mbr";
+    case ShardKind::kRTree: return "r-tree";
+    case ShardKind::kHilbertRTree: return "hilbert-r-tree";
+  }
+  return "?";
+}
+
+std::unique_ptr<Shard> makeShard(ShardKind kind, const Schema& schema) {
+  TreeConfig cfg;
+  switch (kind) {
+    case ShardKind::kArray:
+      return std::make_unique<ArrayShard>(schema);
+    case ShardKind::kPdcMds:
+      cfg.order = InsertOrder::kGeometric;
+      cfg.choose = ChooseHeuristic::kLeastOverlap;
+      cfg.split = SplitAlgo::kQuadratic;
+      return std::make_unique<ShardTree<MdsKey>>(schema, kind, cfg);
+    case ShardKind::kPdcMbr:
+      cfg.order = InsertOrder::kGeometric;
+      cfg.choose = ChooseHeuristic::kLeastOverlap;
+      cfg.split = SplitAlgo::kQuadratic;
+      return std::make_unique<ShardTree<MbrKey>>(schema, kind, cfg);
+    case ShardKind::kHilbertPdcMds:
+      cfg.order = InsertOrder::kHilbert;
+      cfg.split = SplitAlgo::kMinOverlapCut;
+      return std::make_unique<ShardTree<MdsKey>>(schema, kind, cfg);
+    case ShardKind::kHilbertPdcMbr:
+      cfg.order = InsertOrder::kHilbert;
+      cfg.split = SplitAlgo::kMinOverlapCut;
+      return std::make_unique<ShardTree<MbrKey>>(schema, kind, cfg);
+    case ShardKind::kRTree:
+      cfg.order = InsertOrder::kGeometric;
+      cfg.choose = ChooseHeuristic::kLeastEnlargement;
+      cfg.split = SplitAlgo::kQuadratic;
+      return std::make_unique<ShardTree<MbrKey>>(schema, kind, cfg);
+    case ShardKind::kHilbertRTree:
+      cfg.order = InsertOrder::kHilbert;
+      cfg.split = SplitAlgo::kMiddleCut;
+      return std::make_unique<ShardTree<MbrKey>>(schema, kind, cfg);
+  }
+  throw std::invalid_argument("unknown shard kind");
+}
+
+Blob Shard::serializeShard() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(kind()));
+  PointSet items(dims());
+  items.reserve(size());
+  collect(items);
+  items.serialize(w);
+  return w.take();
+}
+
+std::unique_ptr<Shard> deserializeShard(const Schema& schema,
+                                        std::span<const std::uint8_t> blob) {
+  ByteReader r(blob);
+  const auto kind = static_cast<ShardKind>(r.u8());
+  if (kind > ShardKind::kHilbertRTree)
+    throw DeserializeError("bad shard kind");
+  PointSet items = PointSet::deserialize(r);
+  if (items.dims() != schema.dims())
+    throw DeserializeError("shard blob dimensionality mismatch");
+  // Every coordinate must lie inside its hierarchy's domain; out-of-range
+  // values from a corrupt or malicious blob must never reach a tree.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const PointRef p = items.at(i);
+    for (unsigned j = 0; j < schema.dims(); ++j) {
+      if (p.coords[j] >= schema.dim(j).extent())
+        throw DeserializeError("coordinate out of domain");
+    }
+  }
+  auto shard = makeShard(kind, schema);
+  shard->bulkLoad(items);
+  return shard;
+}
+
+}  // namespace volap

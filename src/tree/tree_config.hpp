@@ -1,0 +1,36 @@
+// Structural policies distinguishing the tree variants of paper SIII-D and
+// the Fig. 5 baselines. All variants share one node layout and concurrency
+// scheme; they differ in insertion order (geometric descent vs Hilbert
+// linear order), the child-choice heuristic, and the split algorithm.
+#pragma once
+
+#include <cstdint>
+
+namespace volap {
+
+enum class InsertOrder : std::uint8_t {
+  kGeometric,  // R-tree/PDC-tree style: geometric child choice
+  kHilbert,    // B+-tree style descent on max-Hilbert keys (SIII-D)
+};
+
+enum class ChooseHeuristic : std::uint8_t {
+  kLeastOverlap,      // PDC tree: "the high global cost of overlap dominates"
+  kLeastEnlargement,  // classic Guttman R-tree
+};
+
+enum class SplitAlgo : std::uint8_t {
+  kQuadratic,      // Guttman quadratic split (geometric trees)
+  kMinOverlapCut,  // Hilbert PDC: cut the ordered sequence at the index
+                   // yielding least overlap between the halves (SIII-D)
+  kMiddleCut,      // classic Hilbert R-tree: cut at the midpoint
+};
+
+struct TreeConfig {
+  InsertOrder order = InsertOrder::kHilbert;
+  ChooseHeuristic choose = ChooseHeuristic::kLeastOverlap;
+  SplitAlgo split = SplitAlgo::kMinOverlapCut;
+  unsigned fanout = 16;        // max children of a directory node
+  unsigned leafCapacity = 32;  // max items in a data node
+};
+
+}  // namespace volap

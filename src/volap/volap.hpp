@@ -1,0 +1,90 @@
+// Public facade: one object that owns the whole VOLAP deployment — keeper,
+// m servers, p workers, the manager — wired over an in-process fabric
+// (DESIGN.md §2 explains the EC2 -> threads substitution). This is the
+// entry point a downstream user starts from:
+//
+//   Schema schema = Schema::tpcds();
+//   VolapCluster cluster(schema);
+//   auto client = cluster.makeClient("me");
+//   client->insert(point);
+//   auto result = client->query(box);
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "cluster/manager.hpp"
+#include "cluster/server.hpp"
+#include "cluster/types.hpp"
+#include "cluster/worker.hpp"
+#include "keeper/keeper.hpp"
+#include "net/fabric.hpp"
+#include "olap/schema.hpp"
+#include "tree/shard.hpp"
+
+namespace volap {
+
+struct ClusterOptions {
+  unsigned servers = 2;             // m
+  unsigned workers = 4;             // p
+  unsigned initialShardsPerWorker = 2;
+  ShardKind shardKind = ShardKind::kHilbertPdcMds;
+  WorkerConfig worker;
+  ServerConfig server;
+  ManagerConfig manager;
+  FabricOptions net;
+};
+
+class VolapCluster {
+ public:
+  VolapCluster(const Schema& schema, ClusterOptions opts = ClusterOptions());
+  ~VolapCluster();
+
+  VolapCluster(const VolapCluster&) = delete;
+  VolapCluster& operator=(const VolapCluster&) = delete;
+
+  /// Create a client session attached to a server (round-robin when
+  /// serverIdx is unset). Destroy clients before the cluster.
+  std::unique_ptr<Client> makeClient(const std::string& name,
+                                     int serverIdx = -1,
+                                     unsigned maxOutstanding = 64);
+
+  /// Elastic horizontal scale-up (paper SIII-E / Fig. 6): the new worker
+  /// joins empty; the manager migrates shards onto it.
+  WorkerId addWorker();
+
+  unsigned serverCount() const {
+    return static_cast<unsigned>(servers_.size());
+  }
+  unsigned workerCount() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  Server& server(unsigned i) { return *servers_[i]; }
+  Worker& worker(unsigned i) { return *workers_[i]; }
+  Manager& manager() { return *manager_; }
+  Fabric& fabric() { return *fabric_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Per-worker item counts (direct reads; the Fig. 6 min/max series).
+  std::vector<std::uint64_t> workerLoads() const;
+  std::uint64_t totalItems() const;
+
+ private:
+  const Schema& schema_;
+  ClusterOptions opts_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<KeeperServer> keeper_;
+  std::unique_ptr<KeeperClient> bootZk_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::unique_ptr<Manager> manager_;
+  ShardId nextShardId_ = 1;
+  unsigned nextClientServer_ = 0;
+  std::shared_ptr<Mailbox> bootInbox_;
+};
+
+}  // namespace volap

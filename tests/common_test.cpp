@@ -1,0 +1,265 @@
+// Tests for the common substrate: serialization, RNG/Zipf samplers,
+// latency histograms, the MPMC queue, the reader-writer spinlock, and the
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/mpmc_queue.hpp"
+#include "common/rng.hpp"
+#include "common/rwspin.hpp"
+#include "common/serialize.hpp"
+#include "common/thread_pool.hpp"
+
+namespace volap {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  w.f64(3.25);
+  w.str("volap");
+  w.varint(0);
+  w.varint(127);
+  w.varint(128);
+  w.varint(~std::uint64_t{0});
+  const Blob blob = w.take();
+  ByteReader r(blob);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "volap");
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.varint(), 127u);
+  EXPECT_EQ(r.varint(), 128u);
+  EXPECT_EQ(r.varint(), ~std::uint64_t{0});
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, TruncatedBlobThrows) {
+  ByteWriter w;
+  w.u64(7);
+  Blob blob = w.take();
+  blob.resize(4);
+  ByteReader r(blob);
+  EXPECT_THROW(r.u64(), DeserializeError);
+}
+
+TEST(Serialize, MalformedVarintThrows) {
+  const Blob blob(11, 0xff);  // 11 continuation bytes: > 64 bits
+  ByteReader r(blob);
+  EXPECT_THROW(r.varint(), DeserializeError);
+}
+
+TEST(Serialize, BytesRoundTrip) {
+  ByteWriter w;
+  const Blob payload = {9, 8, 7};
+  w.bytes(payload);
+  w.bytes({});
+  const Blob blob = w.take();
+  ByteReader r(blob);
+  EXPECT_EQ(r.bytes(), payload);
+  EXPECT_TRUE(r.bytes().empty());
+}
+
+TEST(Rng, DeterministicAndWellDistributed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+  Rng r(7);
+  std::vector<unsigned> buckets(10, 0);
+  for (int i = 0; i < 100'000; ++i) ++buckets[r.below(10)];
+  for (unsigned count : buckets) {
+    EXPECT_GT(count, 9'000u);
+    EXPECT_LT(count, 11'000u);
+  }
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng r(9);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    sawLo |= v == 3;
+    sawHi |= v == 5;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 50'000; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / 50'000, 2.0, 0.05);
+}
+
+TEST(Zipf, SkewConcentratesMass) {
+  Rng r(13);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<unsigned> counts(1000, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf(r)];
+  // Rank 0 must dominate and the top-10 should hold a large share.
+  unsigned top10 = 0;
+  for (int i = 0; i < 10; ++i) top10 += counts[i];
+  EXPECT_GT(counts[0], counts[99] * 10);
+  // Theoretical top-10 share for Zipf(1.0) over 1000 is ~39%; accept the
+  // sampler within a generous band (it feeds workload skew, not statistics).
+  EXPECT_GT(top10, 25'000u);
+  EXPECT_LT(top10, 55'000u);
+}
+
+TEST(Zipf, DegenerateDomains) {
+  Rng r(15);
+  ZipfSampler one(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(one(r), 0u);
+  ZipfSampler two(2, 0.5);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(two(r), 2u);
+}
+
+TEST(Histogram, QuantilesOrderedAndBounded) {
+  LatencyHistogram h;
+  Rng r(17);
+  std::uint64_t maxV = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = r.between(100, 1'000'000);
+    maxV = std::max(maxV, v);
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 10'000u);
+  EXPECT_LE(h.quantileNanos(0.5), h.quantileNanos(0.9));
+  EXPECT_LE(h.quantileNanos(0.9), h.quantileNanos(0.999));
+  // Log-bucket error is bounded (~6.25% bucket width).
+  EXPECT_LE(h.quantileNanos(1.0), maxV + maxV / 8);
+  EXPECT_GE(h.meanNanos(), 100.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.record(100);
+  b.record(10'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.minNanos(), 100u);
+  EXPECT_GE(a.maxNanos(), 10'000u);
+}
+
+TEST(Histogram, SampleReproducesDistributionRoughly) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(1'000);
+  for (int i = 0; i < 1000; ++i) h.record(100'000);
+  Rng r(19);
+  unsigned low = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (h.sampleNanos(r.uniform()) < 10'000) ++low;
+  }
+  EXPECT_NEAR(low, 5'000u, 500u);
+}
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop(), i);
+  EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(MpmcQueue, CloseDrainsThenStops) {
+  MpmcQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumers) {
+  MpmcQueue<int> q;
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 2'000;
+  std::atomic<long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) sum.fetch_add(*v);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t c = kProducers; c < threads.size(); ++c) threads[c].join();
+  EXPECT_EQ(sum.load(),
+            static_cast<long>(kProducers) * kPerProducer *
+                (kPerProducer + 1) / 2);
+}
+
+TEST(RwSpin, ExclusionBetweenWriters) {
+  RwSpinLock lock;
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5'000; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 20'000);
+}
+
+TEST(RwSpin, SharedReadersCoexist) {
+  RwSpinLock lock;
+  lock.lock_shared();
+  lock.lock_shared();  // second reader must not block
+  EXPECT_FALSE(lock.try_lock()) << "writer must wait for readers";
+  lock.unlock_shared();
+  lock.unlock_shared();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmittedTasksRun) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&] {
+      if (ran.fetch_add(1) + 1 == 32) {
+        std::lock_guard lock(mu);
+        cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock lock(mu);
+  cv.wait_for(lock, std::chrono::seconds(10), [&] { return ran == 32; });
+  EXPECT_EQ(ran.load(), 32);
+}
+
+}  // namespace
+}  // namespace volap

@@ -1,0 +1,90 @@
+// Empirical cross-server freshness (the live counterpart of the PBS
+// simulator, paper SIV-F): measure the real distribution of the time
+// between an insert acked on server A and its visibility in queries on
+// server B, and verify the paper's bound — consistency always within the
+// sync interval plus slack.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "olap/data_gen.hpp"
+#include "volap/volap.hpp"
+
+namespace volap {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Freshness, CrossServerVisibilityBoundedBySyncInterval) {
+  const Schema schema = Schema::tpcds();
+  ClusterOptions opts;
+  opts.servers = 2;
+  opts.workers = 2;
+  opts.server.syncIntervalNanos = 150'000'000;  // 150ms "configurable rate"
+  VolapCluster cluster(schema, opts);
+  auto writer = cluster.makeClient("w", 0);
+  auto reader = cluster.makeClient("r", 1);
+  DataGenerator gen(schema, 1);
+
+  // Warm both images.
+  for (int i = 0; i < 2000; ++i) writer->insertAsync(gen.next());
+  writer->drain();
+  ASSERT_TRUE([&] {
+    const auto until = std::chrono::steady_clock::now() + 5s;
+    while (std::chrono::steady_clock::now() < until) {
+      if (reader->query(QueryBox(schema)).agg.count == 2000) return true;
+      std::this_thread::sleep_for(5ms);
+    }
+    return false;
+  }());
+
+  // Measure visibility lag for bursts of fresh inserts.
+  LatencyHistogram lag;
+  std::uint64_t total = 2000;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) writer->insertAsync(gen.next());
+    writer->drain();
+    total += 50;
+    const std::uint64_t t0 = nowNanos();
+    while (reader->query(QueryBox(schema)).agg.count < total) {
+      ASSERT_LT(nowNanos() - t0, 3'000'000'000ull)
+          << "visibility exceeded 3s, round " << round;
+      std::this_thread::sleep_for(2ms);
+    }
+    lag.record(nowNanos() - t0);
+  }
+  // The paper observed consistency "always ... in under 3 seconds" at a 3s
+  // sync rate; at a 150ms rate the bound scales down. Allow generous slack
+  // for the single-core scheduler.
+  EXPECT_LT(lag.maxNanos(), 1'500'000'000ull)
+      << "worst lag " << lag.maxNanos() / 1e6 << "ms";
+  // Most rounds should be visible quickly (no box expansion needed).
+  EXPECT_LT(lag.quantileNanos(0.5), 600'000'000ull);
+}
+
+TEST(Freshness, SameServerSessionsReadTheirWrites) {
+  // "User sessions attached to the same server will observe a very low
+  // time between an insert being issued and its effect being visible"
+  // (SIV-F): with acked inserts, visibility is immediate.
+  const Schema schema = Schema::tpcds();
+  ClusterOptions opts;
+  opts.servers = 1;
+  opts.workers = 2;
+  VolapCluster cluster(schema, opts);
+  auto a = cluster.makeClient("a", 0);
+  auto b = cluster.makeClient("b", 0);  // different session, same server
+  DataGenerator gen(schema, 2);
+  std::uint64_t total = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 100; ++i) a->insertAsync(gen.next());
+    a->drain();
+    total += 100;
+    EXPECT_EQ(b->query(QueryBox(schema)).agg.count, total)
+        << "same-server session must see acked inserts immediately";
+  }
+}
+
+}  // namespace
+}  // namespace volap

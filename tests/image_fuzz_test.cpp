@@ -1,0 +1,98 @@
+// Randomized differential test of the local image: a long random sequence
+// of addShard / routeInsert / applyRemote operations is mirrored against a
+// naive box map; routing answers and invariants must match at every
+// checkpoint (the local image is the one structure whose bugs silently
+// lose data cluster-wide, so it gets the fuzz treatment).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cluster/local_image.hpp"
+#include "olap/data_gen.hpp"
+#include "olap/query_gen.hpp"
+
+namespace volap {
+namespace {
+
+class ImageFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImageFuzz, RandomOperationStreamMatchesNaiveBoxMap) {
+  const Schema schema = Schema::tpcds();
+  LocalImage image(schema, 4);
+  std::map<ShardId, MdsKey> naive;       // shard -> box (ground truth)
+  std::map<ShardId, WorkerId> location;  // shard -> worker
+
+  Rng rng(GetParam());
+  DataGenerator gen(schema, GetParam() * 7 + 1);
+  QueryGenerator qgen(schema, GetParam() * 13 + 2);
+  const PointSet anchors = gen.generate(50);
+  ShardId nextId = 1;
+
+  for (int step = 0; step < 1500; ++step) {
+    const auto dice = rng.below(100);
+    if (dice < 8 || naive.empty()) {
+      // New shard (sometimes with a pre-grown remote box).
+      ShardInfo info;
+      info.id = nextId++;
+      info.worker = static_cast<WorkerId>(rng.below(6));
+      if (rng.chance(0.5)) {
+        MdsKey box = MdsKey::forPoint(schema, gen.next());
+        for (int i = 0; i < 3; ++i) box.expand(schema, gen.next());
+        info.box = box;
+      }
+      image.addShard(info);
+      naive[info.id] = info.box;
+      location[info.id] = info.worker;
+    } else if (dice < 70) {
+      // Local insert: whatever leaf the image picks, the naive map grows
+      // the same shard's box.
+      const PointRef p = gen.next();
+      const auto route = image.routeInsert(p);
+      ASSERT_TRUE(naive.count(route.shard));
+      naive[route.shard].expand(schema, p);
+    } else if (dice < 90) {
+      // Remote update of a random shard: box union + relocation.
+      auto it = naive.begin();
+      std::advance(it, static_cast<long>(rng.below(naive.size())));
+      ShardInfo info;
+      info.id = it->first;
+      info.worker = static_cast<WorkerId>(rng.below(6));
+      MdsKey grown = it->second;
+      if (grown.valid())
+        grown.expand(schema, gen.next());
+      else
+        grown = MdsKey::forPoint(schema, gen.next());
+      info.box = grown;
+      image.applyRemote(info);
+      it->second = grown;
+      location[info.id] = info.worker;
+    } else {
+      // Checkpoint: routing must match the naive map exactly.
+      const QueryBox q = qgen.random(anchors);
+      std::vector<ShardId> got;
+      image.routeQuery(q, got);
+      std::sort(got.begin(), got.end());
+      std::vector<ShardId> want;
+      for (const auto& [id, box] : naive)
+        if (box.valid() && box.intersects(q)) want.push_back(id);
+      ASSERT_EQ(got, want) << "step " << step;
+      for (const auto& [id, w] : location)
+        ASSERT_EQ(image.workerOf(id), w) << "step " << step;
+    }
+  }
+  image.checkInvariants();
+  EXPECT_EQ(image.shardCount(), naive.size());
+
+  // Final exhaustive cross-check of every box.
+  for (const auto& [id, box] : naive) {
+    const MdsKey stored = image.boxOf(id);
+    EXPECT_EQ(stored, box) << "shard " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImageFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace volap

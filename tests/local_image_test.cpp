@@ -1,0 +1,188 @@
+// Tests for the server's local image (SIII-C): fixed-leaf index semantics,
+// least-overlap insert routing, query routing vs brute force, bottom-up
+// expansion through the shard-id side index, and structural invariants.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/local_image.hpp"
+#include "olap/data_gen.hpp"
+#include "olap/query_gen.hpp"
+
+namespace volap {
+namespace {
+
+ShardInfo infoFor(ShardId id, WorkerId w, const MdsKey& box = MdsKey()) {
+  ShardInfo s;
+  s.id = id;
+  s.worker = w;
+  s.box = box;
+  return s;
+}
+
+TEST(LocalImage, EmptyImageRoutesNothing) {
+  const Schema s = Schema::tpcds();
+  LocalImage img(s);
+  EXPECT_EQ(img.shardCount(), 0u);
+  std::vector<ShardId> ids;
+  img.routeQuery(QueryBox(s), ids);
+  EXPECT_TRUE(ids.empty());
+  DataGenerator gen(s, 1);
+  EXPECT_THROW(img.routeInsert(gen.next()), std::logic_error);
+}
+
+TEST(LocalImage, SingleShardTakesEverything) {
+  const Schema s = Schema::tpcds();
+  LocalImage img(s);
+  img.addShard(infoFor(1, 0));
+  DataGenerator gen(s, 2);
+  for (int i = 0; i < 50; ++i) {
+    const auto route = img.routeInsert(gen.next());
+    EXPECT_EQ(route.shard, 1u);
+  }
+  std::vector<ShardId> ids;
+  img.routeQuery(QueryBox(s), ids);
+  EXPECT_EQ(ids, std::vector<ShardId>{1});
+  img.checkInvariants();
+}
+
+TEST(LocalImage, LeafCountEqualsShardCountAfterManyAdds) {
+  const Schema s = Schema::tpcds();
+  LocalImage img(s, /*fanout=*/4);
+  DataGenerator gen(s, 3);
+  for (ShardId id = 1; id <= 64; ++id) {
+    MdsKey box = MdsKey::forPoint(s, gen.next());
+    for (int i = 0; i < 5; ++i) box.expand(s, gen.next());
+    img.addShard(infoFor(id, static_cast<WorkerId>(id % 4), box));
+    img.checkInvariants();  // uniform depth + side-index completeness
+  }
+  EXPECT_EQ(img.shardCount(), 64u);
+  EXPECT_EQ(img.allShards().size(), 64u);
+}
+
+TEST(LocalImage, RouteInsertExpandsBoxesAndTracksDirty) {
+  const Schema s = Schema::tpcds();
+  LocalImage img(s);
+  img.addShard(infoFor(1, 0));
+  img.addShard(infoFor(2, 1));
+  DataGenerator gen(s, 4);
+  const PointRef p = gen.next();
+  const auto route = img.routeInsert(p);
+  EXPECT_TRUE(route.expanded) << "empty box must grow on first insert";
+  EXPECT_TRUE(img.boxOf(route.shard).contains(p));
+  const auto dirty = img.takeDirty();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], route.shard);
+  EXPECT_TRUE(img.takeDirty().empty()) << "takeDirty must clear the set";
+}
+
+TEST(LocalImage, RouteQueryMatchesBruteForceOverBoxes) {
+  const Schema s = Schema::tpcds();
+  LocalImage img(s, 4);
+  DataGenerator gen(s, 5);
+  QueryGenerator qgen(s, 6);
+  const PointSet anchors = gen.generate(100);
+  // 24 shards, then route a few thousand points to grow their boxes.
+  for (ShardId id = 1; id <= 24; ++id)
+    img.addShard(infoFor(id, static_cast<WorkerId>(id % 3)));
+  for (int i = 0; i < 3000; ++i) img.routeInsert(gen.next());
+  img.checkInvariants();
+
+  for (int trial = 0; trial < 100; ++trial) {
+    const QueryBox q = qgen.random(anchors);
+    std::vector<ShardId> got;
+    img.routeQuery(q, got);
+    std::sort(got.begin(), got.end());
+    std::vector<ShardId> want;
+    for (ShardId id : img.allShards())
+      if (img.boxOf(id).intersects(q)) want.push_back(id);
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(LocalImage, InsertedPointsAreAlwaysRoutable) {
+  // Whatever shard an insert chose, a later query covering that point must
+  // include that shard — the core no-lost-data property of the image.
+  const Schema s = Schema::tpcds();
+  LocalImage img(s, 4);
+  DataGenerator gen(s, 7);
+  for (ShardId id = 1; id <= 10; ++id)
+    img.addShard(infoFor(id, static_cast<WorkerId>(id)));
+  for (int i = 0; i < 2000; ++i) {
+    const PointRef p = gen.next();
+    const auto route = img.routeInsert(p);
+    QueryBox q(s);
+    for (unsigned j = 0; j < s.dims(); ++j)
+      q.constrainAncestor(s, j, p.coords[j], s.dim(j).depth());
+    std::vector<ShardId> ids;
+    img.routeQuery(q, ids);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), route.shard), ids.end());
+  }
+}
+
+TEST(LocalImage, ApplyRemoteExpandsBottomUp) {
+  const Schema s = Schema::tpcds();
+  LocalImage img(s, 4);
+  DataGenerator gen(s, 8);
+  for (ShardId id = 1; id <= 20; ++id)
+    img.addShard(infoFor(id, 0, MdsKey::forPoint(s, gen.next())));
+  // A remote server grew shard 7's box; after applyRemote, queries touching
+  // the new region must route to shard 7.
+  const PointRef p = gen.next();
+  MdsKey grown = img.boxOf(7);
+  grown.expand(s, p);
+  auto info = infoFor(7, 3, grown);
+  EXPECT_TRUE(img.applyRemote(info));
+  EXPECT_TRUE(img.boxOf(7).contains(p));
+  EXPECT_EQ(img.workerOf(7), 3u);
+  QueryBox q(s);
+  for (unsigned j = 0; j < s.dims(); ++j)
+    q.constrainAncestor(s, j, p.coords[j], s.dim(j).depth());
+  std::vector<ShardId> ids;
+  img.routeQuery(q, ids);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), 7u), ids.end());
+  // Remote growth is not local dirt: nothing to push back.
+  EXPECT_TRUE(img.takeDirty().empty());
+}
+
+TEST(LocalImage, ApplyRemoteUnknownShardAddsIt) {
+  const Schema s = Schema::tpcds();
+  LocalImage img(s);
+  img.addShard(infoFor(1, 0));
+  DataGenerator gen(s, 9);
+  EXPECT_TRUE(img.applyRemote(infoFor(42, 5, MdsKey::forPoint(s, gen.next()))));
+  EXPECT_TRUE(img.hasShard(42));
+  EXPECT_EQ(img.workerOf(42), 5u);
+}
+
+TEST(LocalImage, ApplyRemoteIsIdempotent) {
+  const Schema s = Schema::tpcds();
+  LocalImage img(s);
+  DataGenerator gen(s, 10);
+  const auto info = infoFor(1, 0, MdsKey::forPoint(s, gen.next()));
+  img.addShard(info);
+  EXPECT_FALSE(img.applyRemote(info));
+}
+
+TEST(LocalImage, RoutingPrefersCoveringShard) {
+  // Two shards with disjoint boxes: a point inside shard A's box must route
+  // to A, not expand B (least-overlap routing, SIII-C).
+  const Schema s = Schema::synthetic(2, 1, 16);
+  LocalImage img(s);
+  auto boxAround = [&](std::uint64_t x0, std::uint64_t x1) {
+    std::vector<std::uint64_t> lo{x0, x0}, hi{x1, x1};
+    MdsKey k = MdsKey::forPoint(s, PointRef{lo, 1});
+    k.expand(s, PointRef{hi, 1});
+    return k;
+  };
+  img.addShard(infoFor(1, 0, boxAround(0, 5)));
+  img.addShard(infoFor(2, 1, boxAround(10, 15)));
+  const std::vector<std::uint64_t> inA{2, 3};
+  const std::vector<std::uint64_t> inB{12, 14};
+  EXPECT_EQ(img.routeInsert(PointRef{inA, 1}).shard, 1u);
+  EXPECT_EQ(img.routeInsert(PointRef{inB, 1}).shard, 2u);
+}
+
+}  // namespace
+}  // namespace volap

@@ -1,0 +1,108 @@
+// Tests for the PBS freshness simulator (SIV-F): probabilities are sane,
+// staleness decays with elapsed time, vanishes beyond the sync interval,
+// and responds to coverage and insert rate the way Fig. 10 shows.
+#include <gtest/gtest.h>
+
+#include "pbs/pbs.hpp"
+
+namespace volap {
+namespace {
+
+PbsConfig baseConfig() {
+  PbsConfig cfg;
+  cfg.insertRatePerSec = 50'000;
+  cfg.coverage = 0.5;
+  cfg.syncIntervalNanos = 3'000'000'000;
+  cfg.pExpand = 0.001;
+  cfg.trials = 8'000;
+  // Fast in-process latencies (the measured regime of this repo); the
+  // paper-scale EC2 defaults are exercised separately.
+  cfg.fallbackInsertNanos = 400'000;
+  cfg.fallbackQueryNanos = 500'000;
+  return cfg;
+}
+
+TEST(Pbs, ProbabilitiesFormADistribution) {
+  PbsSimulator sim(baseConfig());
+  const auto r = sim.run(0.5);
+  double total = 0;
+  for (double p : r.probK) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Pbs, MissesDecayWithElapsedTime) {
+  PbsConfig cfg = baseConfig();
+  cfg.pExpand = 1e-5;  // mature database: in-flight misses dominate
+  PbsSimulator sim(cfg);
+  const double m0 = sim.run(0.0).meanMissed;
+  const double m1 = sim.run(0.25).meanMissed;
+  const double m2 = sim.run(1.0).meanMissed;
+  const double m3 = sim.run(3.5).meanMissed;
+  EXPECT_GT(m0, m1);
+  EXPECT_GE(m1, m2);
+  EXPECT_GE(m2, m3);
+  // Paper: "drops to close to zero after ... 0.25 seconds" and consistency
+  // "always observed in under 3 seconds".
+  EXPECT_LT(m1, m0 * 0.25);
+  EXPECT_NEAR(m3, 0.0, 0.01);
+}
+
+TEST(Pbs, HigherCoverageMissesMore) {
+  PbsConfig lo = baseConfig();
+  lo.coverage = 0.25;
+  PbsConfig hi = baseConfig();
+  hi.coverage = 1.0;
+  EXPECT_LT(PbsSimulator(lo).run(0.1).meanMissed,
+            PbsSimulator(hi).run(0.1).meanMissed);
+}
+
+TEST(Pbs, HigherInsertRateMissesMore) {
+  PbsConfig slow = baseConfig();
+  slow.insertRatePerSec = 5'000;
+  PbsConfig fast = baseConfig();
+  fast.insertRatePerSec = 100'000;
+  EXPECT_LT(PbsSimulator(slow).run(0.05).meanMissed,
+            PbsSimulator(fast).run(0.05).meanMissed);
+}
+
+TEST(Pbs, RoutingMissesBoundedBySyncInterval) {
+  // With a huge pExpand and zero in-flight latency effect (elapsed beyond
+  // any latency), all remaining misses are routing misses; they must
+  // disappear once elapsed exceeds syncInterval + watch latency.
+  PbsConfig cfg = baseConfig();
+  cfg.pExpand = 0.5;
+  cfg.syncIntervalNanos = 500'000'000;  // 0.5 s
+  PbsSimulator sim(cfg);
+  EXPECT_GT(sim.run(0.1).meanMissed, 0.0);
+  EXPECT_NEAR(sim.run(0.6).meanMissed, 0.0, 0.01);
+}
+
+TEST(Pbs, MeasuredHistogramsAreUsed) {
+  // Feed a histogram with enormous insert latencies: in-flight misses must
+  // then persist at elapsed times where the default model sees none.
+  LatencyHistogram slowInserts;
+  for (int i = 0; i < 1000; ++i) slowInserts.record(800'000'000);  // 0.8 s
+  PbsConfig cfg = baseConfig();
+  cfg.pExpand = 0;
+  cfg.insertLatency = &slowInserts;
+  PbsSimulator sim(cfg);
+  EXPECT_GT(sim.run(0.2).meanMissed, 0.0);
+  PbsConfig fastCfg = baseConfig();
+  fastCfg.pExpand = 0;
+  EXPECT_NEAR(PbsSimulator(fastCfg).run(0.2).meanMissed, 0.0, 0.05);
+}
+
+TEST(Pbs, DeterministicForFixedSeed) {
+  PbsSimulator sim(baseConfig());
+  const auto a = sim.run(0.1);
+  const auto b = sim.run(0.1);
+  EXPECT_EQ(a.meanMissed, b.meanMissed);
+  EXPECT_EQ(a.probK, b.probK);
+}
+
+}  // namespace
+}  // namespace volap

@@ -1,0 +1,88 @@
+// Tests for the textual query syntax used by tools and the CLI.
+#include <gtest/gtest.h>
+
+#include "olap/data_gen.hpp"
+#include "olap/query_parse.hpp"
+
+namespace volap {
+namespace {
+
+TEST(QueryParse, StarIsUnconstrained) {
+  const Schema s = Schema::tpcds();
+  EXPECT_EQ(parseQuery(s, "*"), QueryBox(s));
+  EXPECT_EQ(parseQuery(s, "  * "), QueryBox(s));
+  EXPECT_EQ(parseQuery(s, ""), QueryBox(s));
+}
+
+TEST(QueryParse, SingleConstraint) {
+  const Schema s = Schema::tpcds();
+  const QueryBox q = parseQuery(s, "Store=2");
+  QueryBox want(s);
+  const std::vector<std::uint64_t> path{2};
+  want.constrain(s, 0, path);
+  EXPECT_EQ(q, want);
+}
+
+TEST(QueryParse, PathConstraint) {
+  const Schema s = Schema::tpcds();
+  const QueryBox q = parseQuery(s, "Date=3/7");
+  QueryBox want(s);
+  const std::vector<std::uint64_t> path{3, 7};
+  want.constrain(s, 3, path);
+  EXPECT_EQ(q, want);
+}
+
+TEST(QueryParse, MultipleConstraintsAndWhitespace) {
+  const Schema s = Schema::tpcds();
+  const QueryBox q = parseQuery(s, "  store = 1  &  time = 12/30 ");
+  QueryBox want(s);
+  const std::vector<std::uint64_t> p0{1};
+  const std::vector<std::uint64_t> p7{12, 30};
+  want.constrain(s, 0, p0);
+  want.constrain(s, 7, p7);
+  EXPECT_EQ(q, want);
+}
+
+TEST(QueryParse, CaseInsensitiveDimensionNames) {
+  const Schema s = Schema::tpcds();
+  EXPECT_EQ(parseQuery(s, "PROMOTION=4"), parseQuery(s, "promotion=4"));
+}
+
+TEST(QueryParse, Errors) {
+  const Schema s = Schema::tpcds();
+  EXPECT_THROW(parseQuery(s, "Nope=1"), QueryParseError);
+  EXPECT_THROW(parseQuery(s, "Store"), QueryParseError);
+  EXPECT_THROW(parseQuery(s, "Store=abc"), QueryParseError);
+  EXPECT_THROW(parseQuery(s, "Store=999"), QueryParseError);   // >= fanout 8
+  EXPECT_THROW(parseQuery(s, "Time=1/2/3"), QueryParseError);  // too deep
+  EXPECT_THROW(parseQuery(s, "Store=1 & & Date=1"), QueryParseError);
+  EXPECT_THROW(parseQuery(s, "Store="), QueryParseError);
+}
+
+TEST(QueryParse, RoundTripThroughFormat) {
+  const Schema s = Schema::tpcds();
+  for (const char* text :
+       {"*", "Store=2", "Date=3/7", "Store=1 & Time=12/30",
+        "Customer=3/4/10 & Item=5"}) {
+    const QueryBox q = parseQuery(s, text);
+    const std::string printed = formatQuery(s, q);
+    EXPECT_EQ(parseQuery(s, printed), q) << text << " -> " << printed;
+  }
+}
+
+TEST(QueryParse, ParsedQueriesFilterCorrectly) {
+  const Schema s = Schema::tpcds();
+  DataGenerator gen(s, 42);
+  const PointSet data = gen.generate(500);
+  // Build a query from a real item: its own values must match.
+  const PointRef p = data.at(0);
+  std::vector<std::uint64_t> vals(s.dim(3).depth());
+  s.dim(3).decodeLeaf(p.coords[3], vals);
+  const std::string text =
+      "Date=" + std::to_string(vals[0]) + "/" + std::to_string(vals[1]);
+  const QueryBox q = parseQuery(s, text);
+  EXPECT_TRUE(q.contains(p));
+}
+
+}  // namespace
+}  // namespace volap

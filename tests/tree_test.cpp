@@ -1,0 +1,332 @@
+// Shard data-structure tests (paper SIII-D/E): every tree variant is
+// differentially tested against the array oracle on identical operation
+// streams, structural invariants are checked after operation storms, and
+// the load-balancing operations (SplitQuery / Split / Serialize /
+// Deserialize) are exercised end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "olap/data_gen.hpp"
+#include "olap/mbr.hpp"
+#include "olap/query_gen.hpp"
+#include "tree/array_shard.hpp"
+#include "tree/shard.hpp"
+#include "tree/shard_tree.hpp"
+
+namespace volap {
+namespace {
+
+const std::vector<ShardKind> kAllTreeKinds = {
+    ShardKind::kPdcMds,        ShardKind::kPdcMbr,
+    ShardKind::kHilbertPdcMds, ShardKind::kHilbertPdcMbr,
+    ShardKind::kRTree,         ShardKind::kHilbertRTree,
+};
+
+void checkTreeInvariants(Shard& s) {
+  switch (s.kind()) {
+    case ShardKind::kPdcMds:
+    case ShardKind::kHilbertPdcMds:
+      static_cast<ShardTree<MdsKey>&>(s).checkInvariants();
+      break;
+    case ShardKind::kArray:
+      break;
+    default:
+      static_cast<ShardTree<MbrKey>&>(s).checkInvariants();
+      break;
+  }
+}
+
+class ShardKindSweep : public ::testing::TestWithParam<ShardKind> {};
+
+TEST_P(ShardKindSweep, MatchesOracleOnMixedStream) {
+  const Schema schema = Schema::tpcds();
+  auto shard = makeShard(GetParam(), schema);
+  ArrayShard oracle(schema);
+  DataGenerator gen(schema, 101);
+  QueryGenerator qgen(schema, 102);
+  const PointSet anchors = gen.generate(200);
+
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 150; ++i) {
+      const PointRef p = gen.next();
+      shard->insert(p);
+      oracle.insert(p);
+    }
+    for (int i = 0; i < 10; ++i) {
+      const QueryBox q = qgen.random(anchors);
+      const Aggregate got = shard->query(q);
+      const Aggregate want = oracle.query(q);
+      ASSERT_EQ(got.count, want.count) << q.describe(schema);
+      ASSERT_NEAR(got.sum, want.sum, 1e-6 * (1.0 + std::abs(want.sum)));
+      if (want.count > 0) {
+        ASSERT_EQ(got.min, want.min);
+        ASSERT_EQ(got.max, want.max);
+      }
+    }
+  }
+  EXPECT_EQ(shard->size(), oracle.size());
+  checkTreeInvariants(*shard);
+}
+
+TEST_P(ShardKindSweep, FullCoverageQueryUsesWholeDatabase) {
+  const Schema schema = Schema::tpcds();
+  auto shard = makeShard(GetParam(), schema);
+  DataGenerator gen(schema, 103);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const PointRef p = gen.next();
+    sum += p.measure;
+    shard->insert(p);
+  }
+  const Aggregate a = shard->query(QueryBox(schema));
+  EXPECT_EQ(a.count, 2000u);
+  EXPECT_NEAR(a.sum, sum, 1e-6 * sum);
+}
+
+TEST_P(ShardKindSweep, BulkLoadEqualsPointInsert) {
+  const Schema schema = Schema::tpcds();
+  DataGenerator gen(schema, 104);
+  const PointSet items = gen.generate(3000);
+
+  auto bulk = makeShard(GetParam(), schema);
+  bulk->bulkLoad(items);
+  auto point = makeShard(GetParam(), schema);
+  for (std::size_t i = 0; i < items.size(); ++i) point->insert(items.at(i));
+
+  EXPECT_EQ(bulk->size(), items.size());
+  checkTreeInvariants(*bulk);
+
+  QueryGenerator qgen(schema, 105);
+  for (int i = 0; i < 40; ++i) {
+    const QueryBox q = qgen.random(items);
+    EXPECT_EQ(bulk->query(q).count, point->query(q).count);
+  }
+}
+
+TEST_P(ShardKindSweep, BulkLoadThenPointInsertsStayConsistent) {
+  const Schema schema = Schema::tpcds();
+  DataGenerator gen(schema, 106);
+  const PointSet base = gen.generate(1000);
+  auto shard = makeShard(GetParam(), schema);
+  ArrayShard oracle(schema);
+  shard->bulkLoad(base);
+  oracle.bulkLoad(base);
+  for (int i = 0; i < 500; ++i) {
+    const PointRef p = gen.next();
+    shard->insert(p);
+    oracle.insert(p);
+  }
+  checkTreeInvariants(*shard);
+  QueryGenerator qgen(schema, 107);
+  for (int i = 0; i < 30; ++i) {
+    const QueryBox q = qgen.random(base);
+    EXPECT_EQ(shard->query(q).count, oracle.query(q).count);
+  }
+}
+
+TEST_P(ShardKindSweep, SplitPartitionsExactlyByHyperplane) {
+  const Schema schema = Schema::tpcds();
+  DataGenerator gen(schema, 108);
+  auto shard = makeShard(GetParam(), schema);
+  for (int i = 0; i < 2000; ++i) shard->insert(gen.next());
+
+  const Hyperplane h = shard->splitQuery();
+  const std::size_t before = shard->size();
+  auto right = shard->split(h);
+  EXPECT_EQ(shard->size() + right->size(), before);
+  // SplitQuery promises approximately equal halves (paper SIII-E).
+  EXPECT_GT(shard->size(), before / 5);
+  EXPECT_GT(right->size(), before / 5);
+
+  PointSet leftItems(schema.dims()), rightItems(schema.dims());
+  shard->collect(leftItems);
+  right->collect(rightItems);
+  for (std::size_t i = 0; i < leftItems.size(); ++i)
+    EXPECT_LT(leftItems.at(i).coords[h.dim], h.cut);
+  for (std::size_t i = 0; i < rightItems.size(); ++i)
+    EXPECT_GE(rightItems.at(i).coords[h.dim], h.cut);
+  checkTreeInvariants(*shard);
+}
+
+TEST_P(ShardKindSweep, SerializeDeserializeRoundTrip) {
+  const Schema schema = Schema::tpcds();
+  DataGenerator gen(schema, 109);
+  auto shard = makeShard(GetParam(), schema);
+  for (int i = 0; i < 1500; ++i) shard->insert(gen.next());
+
+  const Blob blob = shard->serializeShard();
+  auto back = deserializeShard(schema, blob);
+  EXPECT_EQ(back->kind(), shard->kind());
+  EXPECT_EQ(back->size(), shard->size());
+
+  QueryGenerator qgen(schema, 110);
+  const PointSet anchors = gen.generate(100);
+  for (int i = 0; i < 30; ++i) {
+    const QueryBox q = qgen.random(anchors);
+    const Aggregate a = shard->query(q);
+    const Aggregate b = back->query(q);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_NEAR(a.sum, b.sum, 1e-6 * (1.0 + std::abs(a.sum)));
+  }
+}
+
+TEST_P(ShardKindSweep, BoundingMdsCoversAllItems) {
+  const Schema schema = Schema::tpcds();
+  DataGenerator gen(schema, 111);
+  auto shard = makeShard(GetParam(), schema);
+  PointSet items = gen.generate(800);
+  shard->bulkLoad(items);
+  const MdsKey bounds = shard->boundingMds();
+  for (std::size_t i = 0; i < items.size(); ++i)
+    EXPECT_TRUE(bounds.contains(items.at(i)));
+}
+
+TEST_P(ShardKindSweep, ConcurrentInsertsAndQueriesAreSafe) {
+  const Schema schema = Schema::tpcds();
+  auto shard = makeShard(GetParam(), schema);
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 800;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      DataGenerator gen(schema, 200 + static_cast<std::uint64_t>(w));
+      for (int i = 0; i < kPerWriter; ++i) shard->insert(gen.next());
+    });
+  }
+  std::atomic<bool> stop{false};
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      DataGenerator gen(schema, 300 + static_cast<std::uint64_t>(r));
+      QueryGenerator qgen(schema, 400 + static_cast<std::uint64_t>(r));
+      const PointSet anchors = gen.generate(50);
+      std::uint64_t lastCount = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Aggregate a = shard->query(QueryBox(schema));
+        // Full-coverage counts must be monotone under insert-only load.
+        EXPECT_GE(a.count, lastCount);
+        lastCount = a.count;
+        (void)shard->query(qgen.random(anchors));
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true);
+  for (std::size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(shard->size(),
+            static_cast<std::size_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(shard->query(QueryBox(schema)).count,
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  checkTreeInvariants(*shard);
+}
+
+TEST_P(ShardKindSweep, ManyDimensionsSmoke) {
+  const Schema schema = Schema::synthetic(32, 2, 8);
+  auto shard = makeShard(GetParam(), schema);
+  DataGenerator gen(schema, 500);
+  const PointSet anchors = gen.generate(50);
+  for (int i = 0; i < 600; ++i) shard->insert(gen.next());
+  QueryGenerator qgen(schema, 501);
+  ArrayShard oracle(schema);
+  PointSet all(schema.dims());
+  shard->collect(all);
+  oracle.bulkLoad(all);
+  for (int i = 0; i < 15; ++i) {
+    const QueryBox q = qgen.random(anchors);
+    EXPECT_EQ(shard->query(q).count, oracle.query(q).count);
+  }
+  checkTreeInvariants(*shard);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ShardKindSweep,
+                         ::testing::ValuesIn(kAllTreeKinds),
+                         [](const auto& info) {
+                           std::string n = shardKindName(info.param);
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(ArrayShard, OracleBasics) {
+  const Schema schema = Schema::tpcds();
+  ArrayShard a(schema);
+  DataGenerator gen(schema, 600);
+  double sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    const PointRef p = gen.next();
+    sum += p.measure;
+    a.insert(p);
+  }
+  EXPECT_EQ(a.size(), 100u);
+  const Aggregate agg = a.query(QueryBox(schema));
+  EXPECT_EQ(agg.count, 100u);
+  EXPECT_NEAR(agg.sum, sum, 1e-9 * sum);
+  EXPECT_EQ(a.kind(), ShardKind::kArray);
+}
+
+TEST(ShardTree, EmptyTreeQueriesReturnNothing) {
+  const Schema schema = Schema::tpcds();
+  for (ShardKind k : kAllTreeKinds) {
+    auto shard = makeShard(k, schema);
+    EXPECT_EQ(shard->size(), 0u);
+    const Aggregate a = shard->query(QueryBox(schema));
+    EXPECT_EQ(a.count, 0u);
+    EXPECT_TRUE(a.empty());
+  }
+}
+
+TEST(ShardTree, HeightGrowsLogarithmically) {
+  const Schema schema = Schema::tpcds();
+  auto shard = makeShard(ShardKind::kHilbertPdcMds, schema);
+  auto& tree = static_cast<ShardTree<MdsKey>&>(*shard);
+  DataGenerator gen(schema, 700);
+  for (int i = 0; i < 5000; ++i) shard->insert(gen.next());
+  // fanout 16, leaf 32: 5000 items need height ~3; anything >6 signals a
+  // broken split policy.
+  EXPECT_LE(tree.height(), 6u);
+  EXPECT_GE(tree.height(), 2u);
+}
+
+TEST(ShardTree, HilbertLeavesStaySortedAfterSplitStorm) {
+  const Schema schema = Schema::synthetic(4, 3, 8);
+  auto shard = makeShard(ShardKind::kHilbertPdcMds, schema);
+  DataGenerator gen(schema, 701);
+  for (int i = 0; i < 4000; ++i) shard->insert(gen.next());
+  checkTreeInvariants(*shard);  // asserts sorted hkeys + sorted childMaxH
+}
+
+TEST(ShardTree, DeserializeRejectsGarbage) {
+  const Schema schema = Schema::tpcds();
+  const std::vector<std::uint8_t> garbage = {0x42, 0x00, 0x01};
+  EXPECT_THROW(deserializeShard(schema, garbage), DeserializeError);
+  const std::vector<std::uint8_t> empty;
+  EXPECT_THROW(deserializeShard(schema, empty), DeserializeError);
+}
+
+TEST(ShardTree, SplitOnDegenerateDataKeepsEverything) {
+  // All items identical: SplitQuery cannot separate them; Split must not
+  // lose items regardless.
+  const Schema schema = Schema::synthetic(2, 1, 4);
+  auto shard = makeShard(ShardKind::kHilbertPdcMds, schema);
+  const std::vector<std::uint64_t> c{1, 2};
+  for (int i = 0; i < 200; ++i) shard->insert(PointRef{c, 1.0});
+  const Hyperplane h = shard->splitQuery();
+  auto right = shard->split(h);
+  EXPECT_EQ(shard->size() + right->size(), 200u);
+}
+
+TEST(ShardTree, MemoryUseGrowsWithSize) {
+  const Schema schema = Schema::tpcds();
+  auto shard = makeShard(ShardKind::kHilbertPdcMds, schema);
+  const std::size_t empty = shard->memoryUse();
+  DataGenerator gen(schema, 702);
+  for (int i = 0; i < 1000; ++i) shard->insert(gen.next());
+  EXPECT_GT(shard->memoryUse(), empty + 1000 * schema.dims() * 8);
+}
+
+}  // namespace
+}  // namespace volap
