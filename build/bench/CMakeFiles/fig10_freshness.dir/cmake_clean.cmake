@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_freshness.dir/fig10_freshness.cpp.o"
+  "CMakeFiles/fig10_freshness.dir/fig10_freshness.cpp.o.d"
+  "fig10_freshness"
+  "fig10_freshness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_freshness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dimensions.dir/fig5_dimensions.cpp.o"
+  "CMakeFiles/fig5_dimensions.dir/fig5_dimensions.cpp.o.d"
+  "fig5_dimensions"
+  "fig5_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

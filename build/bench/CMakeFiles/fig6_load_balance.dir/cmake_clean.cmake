@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_load_balance.dir/fig6_load_balance.cpp.o"
+  "CMakeFiles/fig6_load_balance.dir/fig6_load_balance.cpp.o.d"
+  "fig6_load_balance"
+  "fig6_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_workload_mix.dir/fig8_workload_mix.cpp.o"
+  "CMakeFiles/fig8_workload_mix.dir/fig8_workload_mix.cpp.o.d"
+  "fig8_workload_mix"
+  "fig8_workload_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_workload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

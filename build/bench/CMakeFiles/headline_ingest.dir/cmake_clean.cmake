@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_ingest.dir/headline_ingest.cpp.o"
+  "CMakeFiles/headline_ingest.dir/headline_ingest.cpp.o.d"
+  "headline_ingest"
+  "headline_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

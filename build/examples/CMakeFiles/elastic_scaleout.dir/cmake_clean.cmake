@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_scaleout.dir/elastic_scaleout.cpp.o"
+  "CMakeFiles/elastic_scaleout.dir/elastic_scaleout.cpp.o.d"
+  "elastic_scaleout"
+  "elastic_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

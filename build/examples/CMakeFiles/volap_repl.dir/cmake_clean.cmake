@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volap_repl.dir/volap_repl.cpp.o"
+  "CMakeFiles/volap_repl.dir/volap_repl.cpp.o.d"
+  "volap_repl"
+  "volap_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volap_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/client.cpp" "src/cluster/CMakeFiles/volap_cluster.dir/client.cpp.o" "gcc" "src/cluster/CMakeFiles/volap_cluster.dir/client.cpp.o.d"
+  "/root/repo/src/cluster/local_image.cpp" "src/cluster/CMakeFiles/volap_cluster.dir/local_image.cpp.o" "gcc" "src/cluster/CMakeFiles/volap_cluster.dir/local_image.cpp.o.d"
+  "/root/repo/src/cluster/manager.cpp" "src/cluster/CMakeFiles/volap_cluster.dir/manager.cpp.o" "gcc" "src/cluster/CMakeFiles/volap_cluster.dir/manager.cpp.o.d"
+  "/root/repo/src/cluster/server.cpp" "src/cluster/CMakeFiles/volap_cluster.dir/server.cpp.o" "gcc" "src/cluster/CMakeFiles/volap_cluster.dir/server.cpp.o.d"
+  "/root/repo/src/cluster/worker.cpp" "src/cluster/CMakeFiles/volap_cluster.dir/worker.cpp.o" "gcc" "src/cluster/CMakeFiles/volap_cluster.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/volap_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/volap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/keeper/CMakeFiles/volap_keeper.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/volap_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/hilbert/CMakeFiles/volap_hilbert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

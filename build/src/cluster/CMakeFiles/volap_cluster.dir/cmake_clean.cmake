@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volap_cluster.dir/client.cpp.o"
+  "CMakeFiles/volap_cluster.dir/client.cpp.o.d"
+  "CMakeFiles/volap_cluster.dir/local_image.cpp.o"
+  "CMakeFiles/volap_cluster.dir/local_image.cpp.o.d"
+  "CMakeFiles/volap_cluster.dir/manager.cpp.o"
+  "CMakeFiles/volap_cluster.dir/manager.cpp.o.d"
+  "CMakeFiles/volap_cluster.dir/server.cpp.o"
+  "CMakeFiles/volap_cluster.dir/server.cpp.o.d"
+  "CMakeFiles/volap_cluster.dir/worker.cpp.o"
+  "CMakeFiles/volap_cluster.dir/worker.cpp.o.d"
+  "libvolap_cluster.a"
+  "libvolap_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volap_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volap_hilbert.dir/compact_hilbert.cpp.o"
+  "CMakeFiles/volap_hilbert.dir/compact_hilbert.cpp.o.d"
+  "libvolap_hilbert.a"
+  "libvolap_hilbert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volap_hilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

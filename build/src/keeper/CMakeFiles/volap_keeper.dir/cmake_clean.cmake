@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volap_keeper.dir/keeper.cpp.o"
+  "CMakeFiles/volap_keeper.dir/keeper.cpp.o.d"
+  "libvolap_keeper.a"
+  "libvolap_keeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volap_keeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for volap_keeper.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volap_net.dir/fabric.cpp.o"
+  "CMakeFiles/volap_net.dir/fabric.cpp.o.d"
+  "libvolap_net.a"
+  "libvolap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

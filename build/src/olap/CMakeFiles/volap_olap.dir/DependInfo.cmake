@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olap/data_gen.cpp" "src/olap/CMakeFiles/volap_olap.dir/data_gen.cpp.o" "gcc" "src/olap/CMakeFiles/volap_olap.dir/data_gen.cpp.o.d"
+  "/root/repo/src/olap/hierarchy.cpp" "src/olap/CMakeFiles/volap_olap.dir/hierarchy.cpp.o" "gcc" "src/olap/CMakeFiles/volap_olap.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/olap/mds.cpp" "src/olap/CMakeFiles/volap_olap.dir/mds.cpp.o" "gcc" "src/olap/CMakeFiles/volap_olap.dir/mds.cpp.o.d"
+  "/root/repo/src/olap/query_gen.cpp" "src/olap/CMakeFiles/volap_olap.dir/query_gen.cpp.o" "gcc" "src/olap/CMakeFiles/volap_olap.dir/query_gen.cpp.o.d"
+  "/root/repo/src/olap/query_parse.cpp" "src/olap/CMakeFiles/volap_olap.dir/query_parse.cpp.o" "gcc" "src/olap/CMakeFiles/volap_olap.dir/query_parse.cpp.o.d"
+  "/root/repo/src/olap/schema.cpp" "src/olap/CMakeFiles/volap_olap.dir/schema.cpp.o" "gcc" "src/olap/CMakeFiles/volap_olap.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hilbert/CMakeFiles/volap_hilbert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volap_olap.dir/data_gen.cpp.o"
+  "CMakeFiles/volap_olap.dir/data_gen.cpp.o.d"
+  "CMakeFiles/volap_olap.dir/hierarchy.cpp.o"
+  "CMakeFiles/volap_olap.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/volap_olap.dir/mds.cpp.o"
+  "CMakeFiles/volap_olap.dir/mds.cpp.o.d"
+  "CMakeFiles/volap_olap.dir/query_gen.cpp.o"
+  "CMakeFiles/volap_olap.dir/query_gen.cpp.o.d"
+  "CMakeFiles/volap_olap.dir/query_parse.cpp.o"
+  "CMakeFiles/volap_olap.dir/query_parse.cpp.o.d"
+  "CMakeFiles/volap_olap.dir/schema.cpp.o"
+  "CMakeFiles/volap_olap.dir/schema.cpp.o.d"
+  "libvolap_olap.a"
+  "libvolap_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volap_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

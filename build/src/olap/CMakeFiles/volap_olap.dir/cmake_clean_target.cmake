@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvolap_olap.a"
+)

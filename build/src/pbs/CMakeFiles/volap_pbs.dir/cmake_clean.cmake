@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volap_pbs.dir/pbs.cpp.o"
+  "CMakeFiles/volap_pbs.dir/pbs.cpp.o.d"
+  "libvolap_pbs.a"
+  "libvolap_pbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volap_pbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

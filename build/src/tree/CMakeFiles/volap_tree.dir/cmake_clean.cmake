@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volap_tree.dir/shard.cpp.o"
+  "CMakeFiles/volap_tree.dir/shard.cpp.o.d"
+  "libvolap_tree.a"
+  "libvolap_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volap_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

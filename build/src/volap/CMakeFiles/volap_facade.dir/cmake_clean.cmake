@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volap_facade.dir/volap.cpp.o"
+  "CMakeFiles/volap_facade.dir/volap.cpp.o.d"
+  "libvolap_facade.a"
+  "libvolap_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volap_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshness_test.dir/freshness_test.cpp.o"
+  "CMakeFiles/freshness_test.dir/freshness_test.cpp.o.d"
+  "freshness_test"
+  "freshness_test.pdb"
+  "freshness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_image_test.dir/local_image_test.cpp.o"
+  "CMakeFiles/local_image_test.dir/local_image_test.cpp.o.d"
+  "local_image_test"
+  "local_image_test.pdb"
+  "local_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

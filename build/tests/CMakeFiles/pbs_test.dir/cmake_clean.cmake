@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbs_test.dir/pbs_test.cpp.o"
+  "CMakeFiles/pbs_test.dir/pbs_test.cpp.o.d"
+  "pbs_test"
+  "pbs_test.pdb"
+  "pbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_parse_test.dir/query_parse_test.cpp.o"
+  "CMakeFiles/query_parse_test.dir/query_parse_test.cpp.o.d"
+  "query_parse_test"
+  "query_parse_test.pdb"
+  "query_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

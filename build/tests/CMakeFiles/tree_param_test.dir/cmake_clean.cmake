@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_param_test.dir/tree_param_test.cpp.o"
+  "CMakeFiles/tree_param_test.dir/tree_param_test.cpp.o.d"
+  "tree_param_test"
+  "tree_param_test.pdb"
+  "tree_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tree_test.cpp" "tests/CMakeFiles/tree_test.dir/tree_test.cpp.o" "gcc" "tests/CMakeFiles/tree_test.dir/tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/volap/CMakeFiles/volap_facade.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/volap_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/volap_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/volap_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/hilbert/CMakeFiles/volap_hilbert.dir/DependInfo.cmake"
+  "/root/repo/build/src/keeper/CMakeFiles/volap_keeper.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/volap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbs/CMakeFiles/volap_pbs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hilbert_test[1]_include.cmake")
+include("/root/repo/build/tests/olap_test[1]_include.cmake")
+include("/root/repo/build/tests/mds_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/net_keeper_test[1]_include.cmake")
+include("/root/repo/build/tests/local_image_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/pbs_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/worker_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_param_test[1]_include.cmake")
+include("/root/repo/build/tests/query_parse_test[1]_include.cmake")
+include("/root/repo/build/tests/freshness_test[1]_include.cmake")
+include("/root/repo/build/tests/image_fuzz_test[1]_include.cmake")
