@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + tests plain, then again under TSan (the
+# chaos test is part of the suite in both passes). Usage: ./ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+run_pass() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure ===="
+  cmake -B "$dir" -S . "$@"
+  echo "==== [$name] build ===="
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== [$name] ctest ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_pass plain build
+run_pass tsan build-tsan -DVOLAP_SANITIZE=thread
+
+echo "ci.sh: all passes green"

@@ -1,29 +1,40 @@
 #include "cluster/client.hpp"
 
+#include <functional>
+
 #include "common/clock.hpp"
 
 namespace volap {
 
 Client::Client(Fabric& fabric, std::string name, std::string serverEp,
-               unsigned maxOutstanding)
+               unsigned maxOutstanding, RetryPolicy retry)
     : fabric_(fabric),
       serverEp_(std::move(serverEp)),
       inbox_(fabric.bind("client/" + name)),
-      maxOutstanding_(maxOutstanding == 0 ? 1 : maxOutstanding) {}
+      maxOutstanding_(maxOutstanding == 0 ? 1 : maxOutstanding),
+      retry_(retry),
+      rng_(0x636c69656e74ull ^ std::hash<std::string>{}(name)) {}
+
+std::uint64_t Client::submit(Op op, Blob payload) {
+  const std::uint64_t corr = nextCorr_++;
+  // Timestamp BEFORE the send: on a loaded box the scheduler can run the
+  // whole server/worker round trip before send() returns.
+  const std::uint64_t t0 = nowNanos();
+  if (!fabric_.send(serverEp_,
+                    makeMessage(op, corr, inbox_->name(), Blob(payload))))
+    return 0;  // endpoint gone; the caller's send counts as failed
+  Outstanding o{op, t0, std::move(payload), 1,
+                t0 + retryDelayNanos(retry_, 1, rng_)};
+  outstanding_.emplace(corr, std::move(o));
+  return corr;
+}
 
 void Client::insertAsync(PointRef p) {
   if (outstanding_.size() >= maxOutstanding_)
     pump(maxOutstanding_ - 1, 0, nullptr);
   ByteWriter w;
   writePoint(w, p);
-  const std::uint64_t corr = nextCorr_++;
-  // Timestamp BEFORE the send: on a loaded box the scheduler can run the
-  // whole server/worker round trip before send() returns.
-  const std::uint64_t t0 = nowNanos();
-  if (fabric_.send(serverEp_, makeMessage(Op::kInsert, corr, inbox_->name(),
-                                          w.take()))) {
-    outstanding_.emplace(corr, Outstanding{Op::kInsert, t0});
-  }
+  submit(Op::kInsert, w.take());
 }
 
 void Client::queryAsync(const QueryBox& q) {
@@ -31,12 +42,7 @@ void Client::queryAsync(const QueryBox& q) {
     pump(maxOutstanding_ - 1, 0, nullptr);
   ByteWriter w;
   q.serialize(w);
-  const std::uint64_t corr = nextCorr_++;
-  const std::uint64_t t0 = nowNanos();
-  if (fabric_.send(serverEp_, makeMessage(Op::kQuery, corr, inbox_->name(),
-                                          w.take()))) {
-    outstanding_.emplace(corr, Outstanding{Op::kQuery, t0});
-  }
+  submit(Op::kQuery, w.take());
 }
 
 void Client::insert(PointRef p) {
@@ -45,11 +51,14 @@ void Client::insert(PointRef p) {
 }
 
 QueryReply Client::query(const QueryBox& q) {
-  queryAsync(q);
-  const std::uint64_t corr = nextCorr_ - 1;
-  if (outstanding_.count(corr) == 0) return QueryReply{};  // send failed
+  ByteWriter w;
+  q.serialize(w);
+  const std::uint64_t corr = submit(Op::kQuery, w.take());
+  QueryReply degraded;
+  degraded.partial = true;  // distinguishes "gave up" from an empty result
+  if (corr == 0) return degraded;
   Message reply;
-  if (!pump(0, corr, &reply)) return QueryReply{};
+  if (!pump(0, corr, &reply)) return degraded;
   return QueryReply::decode(reply.payload);
 }
 
@@ -57,12 +66,8 @@ std::uint64_t Client::bulkLoad(const PointSet& items) {
   drain();
   ByteWriter w;
   items.serialize(w);
-  const std::uint64_t corr = nextCorr_++;
-  const std::uint64_t t0 = nowNanos();
-  if (!fabric_.send(serverEp_, makeMessage(Op::kBulk, corr, inbox_->name(),
-                                           w.take())))
-    return 0;
-  outstanding_.emplace(corr, Outstanding{Op::kBulk, t0});
+  const std::uint64_t corr = submit(Op::kBulk, w.take());
+  if (corr == 0) return 0;
   Message reply;
   if (!pump(0, corr, &reply)) return 0;
   ByteReader r(reply.payload);
@@ -74,13 +79,25 @@ void Client::drain() { pump(0, 0, nullptr); }
 bool Client::pump(std::size_t target, std::uint64_t waitCorr, Message* out) {
   while (outstanding_.size() > target ||
          (waitCorr != 0 && outstanding_.count(waitCorr) != 0)) {
-    auto m = inbox_->recv();
+    std::uint64_t nextDue = ~std::uint64_t{0};
+    for (const auto& [corr, o] : outstanding_)
+      nextDue = std::min(nextDue, o.dueNanos);
+    const std::uint64_t now = nowNanos();
+    std::optional<Message> m;
+    if (nextDue > now)
+      m = inbox_->recvFor(std::chrono::nanoseconds(nextDue - now));
+    else
+      m = inbox_->tryRecv();
     if (!m) {
-      outstanding_.clear();  // fabric shut down under us
-      return false;
+      if (inbox_->closed()) {
+        outstanding_.clear();  // fabric shut down under us
+        return false;
+      }
+      if (!sweep(waitCorr)) return false;
+      continue;
     }
     auto it = outstanding_.find(m->corr);
-    if (it == outstanding_.end()) continue;
+    if (it == outstanding_.end()) continue;  // late duplicate reply
     account(*m, it->second);
     const bool wanted = waitCorr != 0 && m->corr == waitCorr;
     outstanding_.erase(it);
@@ -90,6 +107,37 @@ bool Client::pump(std::size_t target, std::uint64_t waitCorr, Message* out) {
     }
   }
   return true;
+}
+
+bool Client::sweep(std::uint64_t waitCorr) {
+  const std::uint64_t now = nowNanos();
+  bool waitAlive = true;
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    Outstanding& o = it->second;
+    if (o.dueNanos > now) {
+      ++it;
+      continue;
+    }
+    if (o.attempts < retry_.maxAttempts) {
+      // Same corr on purpose: the server dedups in-flight requests and
+      // replays completed replies, so redelivery is exactly-once.
+      fabric_.send(serverEp_, makeMessage(o.op, it->first, inbox_->name(),
+                                          Blob(o.payload)));
+      ++o.attempts;
+      o.dueNanos = now + retryDelayNanos(retry_, o.attempts, rng_);
+      ++retries_;
+      ++it;
+      continue;
+    }
+    switch (o.op) {
+      case Op::kInsert: ++insertsExpired_; break;
+      case Op::kQuery: ++queriesExpired_; break;
+      default: break;
+    }
+    if (it->first == waitCorr) waitAlive = false;
+    it = outstanding_.erase(it);
+  }
+  return waitAlive;
 }
 
 void Client::account(const Message& m, const Outstanding& o) {
@@ -106,6 +154,7 @@ void Client::account(const Message& m, const Outstanding& o) {
         const QueryReply reply = QueryReply::decode(m.payload);
         shardsSearched_ += reply.shardsSearched;
         lastAgg_ = reply.agg;
+        if (reply.partial) ++partialReplies_;
       } catch (const DeserializeError&) {
       }
       break;

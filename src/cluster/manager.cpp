@@ -35,6 +35,7 @@ void Manager::serve() {
   while (true) {
     const std::uint64_t now = nowNanos();
     if (now >= nextTick) {
+      sweepLeases();
       if (enabled_.load(std::memory_order_relaxed) &&
           inFlight_.load(std::memory_order_relaxed) <
               cfg_.maxConcurrentOps) {
@@ -53,6 +54,23 @@ void Manager::serve() {
       case Op::kMigrateDone: handleMigrateDone(*m); break;
       default: break;
     }
+  }
+}
+
+void Manager::sweepLeases() {
+  const std::uint64_t now = nowNanos();
+  for (auto it = pendingOps_.begin(); it != pendingOps_.end();) {
+    if (it->second.deadlineNanos > now) {
+      ++it;
+      continue;
+    }
+    // The command or its Done report is lost, or the worker is stuck.
+    // Reclaim the slot; the next analysis re-derives whatever still needs
+    // doing from the (worker-repaired) image. A Done arriving after this
+    // misses the lease map and is ignored.
+    it = pendingOps_.erase(it);
+    inFlight_.fetch_sub(1);
+    opsTimedOut_.fetch_add(1);
   }
 }
 
@@ -84,6 +102,26 @@ bool Manager::readImage(std::map<WorkerId, WorkerStats>& workers,
   return true;
 }
 
+std::set<WorkerId> Manager::readDeadWorkers() {
+  std::set<WorkerId> dead;
+  auto names = zk_.children(alivesPath());
+  if (!names.has_value()) return dead;  // no liveness tree: assume alive
+  const std::uint64_t now = nowNanos();
+  for (const auto& name : *names) {
+    auto got = zk_.get(alivesPath() + "/" + name);
+    if (!got.has_value()) continue;
+    try {
+      ByteReader r(got->data);
+      const std::uint64_t beat = r.u64();
+      if (beat + cfg_.aliveTimeoutNanos < now)
+        dead.insert(static_cast<WorkerId>(
+            std::strtoul(name.c_str(), nullptr, 10)));
+    } catch (const DeserializeError&) {
+    }
+  }
+  return dead;
+}
+
 void Manager::analyze() {
   std::map<WorkerId, WorkerStats> workers;
   std::vector<ShardInfo> shards;
@@ -106,6 +144,9 @@ void Manager::analyze() {
   // lightest (new workers join empty), move its largest movable shard to
   // the lightest worker. Only shards small enough to actually reduce the
   // gap are movable; an oversized one is split first by rule 1 next tick.
+  // Workers with a stale liveness heartbeat are never chosen as targets —
+  // migrating onto a dead node would strand the shard.
+  const std::set<WorkerId> dead = readDeadWorkers();
   WorkerId heavy = kNoWorker, light = kNoWorker;
   std::uint64_t heavyLoad = 0, lightLoad = ~std::uint64_t{0};
   for (const auto& [id, s] : workers) {
@@ -113,12 +154,12 @@ void Manager::analyze() {
       heavyLoad = s.totalItems;
       heavy = id;
     }
-    if (s.totalItems < lightLoad) {
+    if (s.totalItems < lightLoad && dead.count(id) == 0) {
       lightLoad = s.totalItems;
       light = id;
     }
   }
-  if (heavy == light) return;
+  if (light == kNoWorker || heavy == light) return;
   const std::uint64_t gap = heavyLoad - lightLoad;
   if (gap < cfg_.minImbalanceItems) return;
   if (lightLoad > 0 &&
@@ -147,10 +188,13 @@ void Manager::startSplit(const ShardInfo& shard) {
   SplitShard req;
   req.shard = shard.id;
   req.newShard = allocShardId();
+  const std::uint64_t corr = nextCorr_++;
   inFlight_.fetch_add(1);
+  pendingOps_[corr] = {true, nowNanos() + cfg_.opLeaseNanos};
   if (!fabric_.send(workerEndpoint(shard.worker),
-                    makeMessage(Op::kSplitShard, nextCorr_++,
-                                managerEndpoint(), req.encode()))) {
+                    makeMessage(Op::kSplitShard, corr, managerEndpoint(),
+                                req.encode()))) {
+    pendingOps_.erase(corr);
     inFlight_.fetch_sub(1);
   }
 }
@@ -159,10 +203,13 @@ void Manager::startMigrate(const ShardInfo& shard, WorkerId dest) {
   MigrateShard req;
   req.shard = shard.id;
   req.dest = dest;
+  const std::uint64_t corr = nextCorr_++;
   inFlight_.fetch_add(1);
+  pendingOps_[corr] = {false, nowNanos() + cfg_.opLeaseNanos};
   if (!fabric_.send(workerEndpoint(shard.worker),
-                    makeMessage(Op::kMigrateShard, nextCorr_++,
-                                managerEndpoint(), req.encode()))) {
+                    makeMessage(Op::kMigrateShard, corr, managerEndpoint(),
+                                req.encode()))) {
+    pendingOps_.erase(corr);
     inFlight_.fetch_sub(1);
   }
 }
@@ -188,6 +235,9 @@ void Manager::writeShardInfo(const ShardInfo& info, bool relocate,
 }
 
 void Manager::handleSplitDone(const Message& m) {
+  auto it = pendingOps_.find(m.corr);
+  if (it == pendingOps_.end()) return;  // lease expired, or duplicate Done
+  pendingOps_.erase(it);
   inFlight_.fetch_sub(1);
   const SplitDone done = SplitDone::decode(m.payload);
   if (!done.ok) return;
@@ -201,6 +251,9 @@ void Manager::handleSplitDone(const Message& m) {
 }
 
 void Manager::handleMigrateDone(const Message& m) {
+  auto it = pendingOps_.find(m.corr);
+  if (it == pendingOps_.end()) return;  // lease expired, or duplicate Done
+  pendingOps_.erase(it);
   inFlight_.fetch_sub(1);
   const MigrateDone done = MigrateDone::decode(m.payload);
   if (!done.ok) return;

@@ -3,12 +3,20 @@
 // — splitting oversized shards and migrating shards from overloaded (or
 // onto newly added, empty) workers — while the system keeps serving
 // inserts and queries. The manager is deliberately not on the data path.
+//
+// Fault tolerance: every split/migrate command carries a lease; if the
+// worker's Done report does not arrive before the lease expires (dropped
+// command, dropped report, stuck worker), the operation is written off and
+// its in-flight slot reclaimed, so balancing never wedges. Late Done
+// reports for expired leases are ignored (no double accounting). Migration
+// targets are chosen among workers with a fresh liveness heartbeat.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -31,6 +39,15 @@ struct ManagerConfig {
   /// In-flight operation cap per tick.
   unsigned maxConcurrentOps = 2;
   bool enabled = true;
+  /// How long a split/migrate may stay unacknowledged before the manager
+  /// writes it off and reclaims its in-flight slot. Must comfortably exceed
+  /// the workers' transfer retry budget so an aborted migration reports
+  /// failure before the lease expires.
+  std::uint64_t opLeaseNanos = 10'000'000'000;
+  /// A worker whose liveness heartbeat is older than this is not chosen as
+  /// a migration target. Workers without a heartbeat znode are assumed
+  /// alive (bootstrap races, hand-built test images).
+  std::uint64_t aliveTimeoutNanos = 2'500'000'000;
 };
 
 class Manager {
@@ -51,6 +68,8 @@ class Manager {
   std::uint64_t splitsDone() const { return splits_.load(); }
   std::uint64_t migrationsDone() const { return migrations_.load(); }
   std::uint64_t opsInFlight() const { return inFlight_.load(); }
+  /// Operations whose lease expired without a Done report.
+  std::uint64_t opsTimedOut() const { return opsTimedOut_.load(); }
 
   /// Allocate a fresh shard id (also used by the bootstrap path).
   ShardId allocShardId() { return nextShardId_.fetch_add(1); }
@@ -59,13 +78,21 @@ class Manager {
   struct ShardView {
     ShardInfo info;
   };
+  /// Lease for one outstanding split/migrate command, keyed by its corr.
+  struct PendingOp {
+    bool isSplit = false;
+    std::uint64_t deadlineNanos = 0;
+  };
 
   void serve();
   void analyze();
+  void sweepLeases();
   void handleSplitDone(const Message& m);
   void handleMigrateDone(const Message& m);
   bool readImage(std::map<WorkerId, WorkerStats>& workers,
                  std::vector<ShardInfo>& shards);
+  /// Workers whose heartbeat znode exists but is stale.
+  std::set<WorkerId> readDeadWorkers();
   void startSplit(const ShardInfo& shard);
   void startMigrate(const ShardInfo& shard, WorkerId dest);
   void writeShardInfo(const ShardInfo& info, bool relocate,
@@ -82,7 +109,9 @@ class Manager {
   std::atomic<std::uint64_t> splits_{0};
   std::atomic<std::uint64_t> migrations_{0};
   std::atomic<std::uint64_t> inFlight_{0};
+  std::atomic<std::uint64_t> opsTimedOut_{0};
   std::uint64_t nextCorr_ = 1;
+  std::map<std::uint64_t, PendingOp> pendingOps_;  // serve thread only
 
   std::thread thread_;
 };

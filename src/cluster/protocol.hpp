@@ -44,6 +44,7 @@ enum class Op : std::uint16_t {
   kTransferShard = 0x260,  // shard id + serialized blob
   kTransferAck = 0x261,
   kTransferItems = 0x262,  // shard id + queued items that arrived mid-move
+  kTransferItemsAck = 0x263,  // echoes corr so the sender stops retrying
 };
 
 // ---- small payload helpers -------------------------------------------------
@@ -140,17 +141,23 @@ struct WQueryReply {
   }
 };
 
-/// kQueryReply payload (server -> client).
+/// kQueryReply payload (server -> client). `partial` marks graceful
+/// degradation: some shards stayed unreachable after the server's retry
+/// budget, so the aggregate covers only the shards that answered.
 struct QueryReply {
   Aggregate agg;
   std::uint32_t shardsSearched = 0;
   std::uint32_t workersAsked = 0;
+  bool partial = false;
+  std::uint32_t unreachableShards = 0;
 
   Blob encode() const {
     ByteWriter w;
     agg.serialize(w);
     w.u32(shardsSearched);
     w.u32(workersAsked);
+    w.u8(partial ? 1 : 0);
+    w.u32(unreachableShards);
     return w.take();
   }
   static QueryReply decode(const Blob& b) {
@@ -159,6 +166,8 @@ struct QueryReply {
     m.agg = Aggregate::deserialize(r);
     m.shardsSearched = r.u32();
     m.workersAsked = r.u32();
+    m.partial = r.u8() != 0;
+    m.unreachableShards = r.u32();
     return m;
   }
 };

@@ -1,6 +1,7 @@
 #include "cluster/server.hpp"
 
 #include <cstdlib>
+#include <vector>
 
 #include "common/clock.hpp"
 
@@ -15,6 +16,7 @@ Server::Server(Fabric& fabric, const Schema& schema, ServerId id,
       inbox_(fabric.bind(serverEndpoint(id))),
       zk_(fabric, serverEndpoint(id), serverEndpoint(id)),
       image_(schema, cfg.imageFanout),
+      rng_(0x73727672ull ^ id),
       pool_(cfg.threads) {
   thread_ = std::thread([this] { serve(); });
 }
@@ -34,6 +36,18 @@ Server::Stats Server::stats() const {
   s.syncPushes = syncPushes_.load();
   s.watchEvents = watchEvents_.load();
   s.chases = chases_.load();
+  s.workerRetries = workerRetries_.load();
+  s.insertsDropped = insertsDropped_.load();
+  s.partialQueries = partialQueries_.load();
+  s.repliesReplayed = repliesReplayed_.load();
+  s.dupRequests = dupRequests_.load();
+  {
+    std::lock_guard lock(pendingMu_);
+    s.pendingInserts = pendingInserts_.size();
+    s.pendingQueries = pendingQueries_.size();
+    s.pendingBulks = pendingBulks_.size();
+    s.retryEntries = retries_.size();
+  }
   return s;
 }
 
@@ -41,13 +55,19 @@ void Server::serve() {
   bootstrapImage();
   std::uint64_t nextSync = nowNanos() + cfg_.syncIntervalNanos;
   while (true) {
-    const std::uint64_t now = nowNanos();
+    std::uint64_t now = nowNanos();
     if (now >= nextSync) {
       syncPush();
+      // Re-pull the shard list on the same cadence: a lost watch event (the
+      // fabric may drop them) would otherwise blind this server forever.
+      refreshShardList();
       nextSync = now + cfg_.syncIntervalNanos;
     }
+    sweepRetries();
+    const std::uint64_t wake = nextWakeNanos(nextSync);
+    now = nowNanos();
     auto m = inbox_->recvFor(
-        std::chrono::nanoseconds(nextSync > now ? nextSync - now : 1));
+        std::chrono::nanoseconds(wake > now ? wake - now : 1));
     if (!m) {
       if (inbox_->closed()) return;
       continue;
@@ -61,6 +81,13 @@ void Server::serve() {
     auto msg = std::make_shared<Message>(std::move(*m));
     pool_.submit([this, msg] { dispatch(*msg); });
   }
+}
+
+std::uint64_t Server::nextWakeNanos(std::uint64_t nextSync) {
+  std::uint64_t wake = nextSync;
+  std::lock_guard lock(pendingMu_);
+  for (const auto& [corr, rt] : retries_) wake = std::min(wake, rt.dueNanos);
+  return wake;
 }
 
 void Server::dispatch(const Message& m) {
@@ -132,9 +159,160 @@ void Server::handleWatchEvent(const Message& m) {
   }
 }
 
+// ---- client-request dedup ---------------------------------------------------
+
+bool Server::dedupClientRequest(const Message& m) {
+  Op replayOp = Op::kInsertAck;
+  Blob replayPayload;
+  {
+    std::lock_guard lock(pendingMu_);
+    if (const auto* ack = replay_.find(m.from, m.corr)) {
+      replayOp = static_cast<Op>(ack->op);
+      replayPayload = ack->payload;
+      repliesReplayed_.fetch_add(1, std::memory_order_relaxed);
+    } else if (!inFlightClient_.insert(clientKey(m.from, m.corr)).second) {
+      // Still being processed: the reply will go out when it completes.
+      dupRequests_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    } else {
+      return false;
+    }
+  }
+  fabric_.send(m.from, makeMessage(replayOp, m.corr, serverEndpoint(id_),
+                                   std::move(replayPayload)));
+  return true;
+}
+
+void Server::replyToClient(const std::string& ep, std::uint64_t corr, Op op,
+                           Blob payload) {
+  {
+    std::lock_guard lock(pendingMu_);
+    inFlightClient_.erase(clientKey(ep, corr));
+    replay_.remember(ep, corr, static_cast<std::uint16_t>(op), payload);
+  }
+  fabric_.send(ep, makeMessage(op, corr, serverEndpoint(id_),
+                               std::move(payload)));
+}
+
+// ---- worker-facing retries --------------------------------------------------
+
+void Server::sweepRetries() {
+  struct Resend {
+    std::string dest;
+    Op op;
+    std::uint64_t corr;
+    Blob payload;
+  };
+  std::vector<Resend> resend;
+  std::vector<std::shared_ptr<PendingQuery>> doneQueries;
+  std::vector<std::shared_ptr<PendingBulk>> doneBulks;
+  const std::uint64_t now = nowNanos();
+  {
+    std::lock_guard lock(pendingMu_);
+    for (auto it = retries_.begin(); it != retries_.end();) {
+      WireRetry& rt = it->second;
+      if (rt.dueNanos > now) {
+        ++it;
+        continue;
+      }
+      if (rt.attempts < cfg_.workerRetry.maxAttempts) {
+        ++rt.attempts;
+        rt.dueNanos =
+            now + retryDelayNanos(cfg_.workerRetry, rt.attempts, rng_);
+        resend.push_back({rt.dest, rt.op, it->first, rt.payload});
+        workerRetries_.fetch_add(1, std::memory_order_relaxed);
+        ++it;
+        continue;
+      }
+      // Budget exhausted: the worker (or the path to it) is effectively
+      // down for this request. Degrade per operation.
+      const std::uint64_t corr = it->first;
+      switch (rt.op) {
+        case Op::kWInsert: {
+          // Drop the insert WITHOUT acking: the client's own retry budget
+          // re-submits it, preserving "acked implies queryable". Remember
+          // the wire identity so the retransmission resumes THIS request
+          // (resumeDroppedInsert) instead of re-applying under a new corr.
+          auto pit = pendingInserts_.find(corr);
+          if (pit != pendingInserts_.end()) {
+            const std::string key =
+                clientKey(pit->second.clientEp, pit->second.clientCorr);
+            inFlightClient_.erase(key);
+            auto [dit, fresh] = droppedInserts_.try_emplace(key);
+            dit->second = {corr, rt.dest, std::move(rt.payload)};
+            if (fresh) {
+              droppedOrder_.push_back(dit->first);
+              while (droppedOrder_.size() > 8192) {
+                droppedInserts_.erase(droppedOrder_.front());
+                droppedOrder_.pop_front();
+              }
+            }
+            pendingInserts_.erase(pit);
+          }
+          insertsDropped_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        case Op::kWQuery: {
+          auto qit = pendingQueries_.find(corr);
+          if (qit != pendingQueries_.end()) {
+            auto q = qit->second;
+            pendingQueries_.erase(qit);
+            q->unreachable += rt.shards;
+            if (--q->remaining == 0) doneQueries.push_back(std::move(q));
+          }
+          break;
+        }
+        case Op::kWBulk: {
+          auto bit = pendingBulks_.find(corr);
+          if (bit != pendingBulks_.end()) {
+            auto b = bit->second;
+            pendingBulks_.erase(bit);
+            if (--b->remaining == 0) doneBulks.push_back(std::move(b));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      it = retries_.erase(it);
+    }
+  }
+  for (auto& r : resend)
+    fabric_.send(r.dest, makeMessage(r.op, r.corr, serverEndpoint(id_),
+                                     std::move(r.payload)));
+  for (auto& q : doneQueries) finishQuery(*q);
+  for (auto& b : doneBulks) finishBulk(*b);
+}
+
 // ---- inserts ----------------------------------------------------------------
 
+bool Server::resumeDroppedInsert(const Message& m) {
+  std::string dest;
+  std::uint64_t corr = 0;
+  Blob payload;
+  {
+    std::lock_guard lock(pendingMu_);
+    auto it = droppedInserts_.find(clientKey(m.from, m.corr));
+    if (it == droppedInserts_.end()) return false;
+    corr = it->second.corr;
+    dest = it->second.dest;
+    payload = std::move(it->second.payload);
+    droppedInserts_.erase(it);  // its FIFO slot expires lazily
+    pendingInserts_[corr] = {m.from, m.corr};
+    retries_.emplace(
+        corr, WireRetry{dest, Op::kWInsert, payload, 1,
+                        nowNanos() + retryDelayNanos(cfg_.workerRetry, 1,
+                                                     rng_),
+                        0});
+  }
+  fabric_.send(dest, makeMessage(Op::kWInsert, corr, serverEndpoint(id_),
+                                 std::move(payload)));
+  return true;
+}
+
 void Server::handleInsert(const Message& m) {
+  if (dedupClientRequest(m)) return;
+  if (resumeDroppedInsert(m)) return;
   ByteReader r(m.payload);
   const Point p = readPoint(r);
   insertsRouted_.fetch_add(1, std::memory_order_relaxed);
@@ -145,26 +323,25 @@ void Server::handleInsert(const Message& m) {
   imageLock_.unlock();
   if (route.expanded) boxExpansions_.fetch_add(1, std::memory_order_relaxed);
 
+  WInsert req;
+  req.shard = route.shard;
+  req.point = p;
+  Blob payload = req.encode();
   const std::uint64_t corr = nextCorr_.fetch_add(1);
   {
     std::lock_guard lock(pendingMu_);
     pendingInserts_[corr] = {m.from, m.corr};
+    retries_.emplace(
+        corr, WireRetry{workerEndpoint(w), Op::kWInsert, payload, 1,
+                        nowNanos() + retryDelayNanos(cfg_.workerRetry, 1,
+                                                     rng_),
+                        0});
   }
-  WInsert req;
-  req.shard = route.shard;
-  req.point = p;
-  if (!fabric_.send(workerEndpoint(w),
-                    makeMessage(Op::kWInsert, corr, serverEndpoint(id_),
-                                req.encode()))) {
-    // Worker unreachable: ack anyway so clients are not wedged; the item is
-    // lost exactly as it would be on a crashed node without replication.
-    {
-      std::lock_guard lock(pendingMu_);
-      pendingInserts_.erase(corr);
-    }
-    fabric_.send(m.from, makeMessage(Op::kInsertAck, m.corr,
-                                     serverEndpoint(id_), {}));
-  }
+  // A failed send (worker not bound yet) is fine: the sweep retransmits,
+  // and on a exhausted budget the unacked insert falls to the client retry.
+  fabric_.send(workerEndpoint(w), makeMessage(Op::kWInsert, corr,
+                                              serverEndpoint(id_),
+                                              std::move(payload)));
 }
 
 void Server::handleWorkerInsertAck(const Message& m) {
@@ -172,17 +349,18 @@ void Server::handleWorkerInsertAck(const Message& m) {
   {
     std::lock_guard lock(pendingMu_);
     auto it = pendingInserts_.find(m.corr);
-    if (it == pendingInserts_.end()) return;
+    if (it == pendingInserts_.end()) return;  // duplicate ack
     pi = it->second;
     pendingInserts_.erase(it);
+    retries_.erase(m.corr);
   }
-  fabric_.send(pi.clientEp, makeMessage(Op::kInsertAck, pi.clientCorr,
-                                        serverEndpoint(id_), {}));
+  replyToClient(pi.clientEp, pi.clientCorr, Op::kInsertAck, {});
 }
 
 // ---- queries ----------------------------------------------------------------
 
 void Server::handleQuery(const Message& m) {
+  if (dedupClientRequest(m)) return;
   ByteReader r(m.payload);
   QueryBox box = QueryBox::deserialize(r);
   queriesRouted_.fetch_add(1, std::memory_order_relaxed);
@@ -197,47 +375,42 @@ void Server::handleQuery(const Message& m) {
   }
   if (ids.empty()) {
     QueryReply reply;
-    fabric_.send(m.from, makeMessage(Op::kQueryReply, m.corr,
-                                     serverEndpoint(id_), reply.encode()));
+    replyToClient(m.from, m.corr, Op::kQueryReply, reply.encode());
     return;
   }
   auto q = std::make_shared<PendingQuery>();
   q->clientEp = m.from;
   q->clientCorr = m.corr;
   q->box = box;
+  q->remaining = static_cast<unsigned>(byWorker.size());
+  q->workersAsked = static_cast<std::uint32_t>(byWorker.size());
   q->queried.insert(ids.begin(), ids.end());
-  const std::uint64_t corr = nextCorr_.fetch_add(1);
-  {
-    // Register before scattering so replies (which may arrive on another
-    // pool thread immediately) find the entry.
-    std::lock_guard lock(pendingMu_);
-    pendingQueries_.emplace(corr, q);
-  }
-  unsigned sent = 0;
+  // Each chunk has its own correlation id, registered before its send, so
+  // a reply racing back on another pool thread always finds the entry and
+  // a duplicate reply misses the (already-erased) entry.
   for (auto& [w, shardIds] : byWorker) {
+    const auto nShards = static_cast<std::uint32_t>(shardIds.size());
     WQuery req;
     req.shards = std::move(shardIds);
     req.box = box;
-    if (fabric_.send(workerEndpoint(w),
-                     makeMessage(Op::kWQuery, corr, serverEndpoint(id_),
-                                 req.encode()))) {
-      ++sent;
+    Blob payload = req.encode();
+    const std::uint64_t corr = nextCorr_.fetch_add(1);
+    {
+      std::lock_guard lock(pendingMu_);
+      pendingQueries_.emplace(corr, q);
+      retries_.emplace(
+          corr, WireRetry{workerEndpoint(w), Op::kWQuery, payload, 1,
+                          nowNanos() + retryDelayNanos(cfg_.workerRetry, 1,
+                                                       rng_),
+                          nShards});
     }
+    fabric_.send(workerEndpoint(w), makeMessage(Op::kWQuery, corr,
+                                                serverEndpoint(id_),
+                                                std::move(payload)));
   }
-  bool finished = false;
-  {
-    std::lock_guard lock(pendingMu_);
-    q->workersAsked = sent;
-    q->pendingReplies += static_cast<int>(sent);  // may go through negative
-    if (q->pendingReplies == 0) {  // includes the all-sends-failed case
-      pendingQueries_.erase(corr);
-      finished = true;
-    }
-  }
-  if (finished) finishQuery(corr, *q);
 }
 
-void Server::chase(PendingQuery& q, std::uint64_t corr, ShardId id,
+void Server::chase(const std::shared_ptr<PendingQuery>& q, ShardId id,
                    WorkerId dest) {
   // Called with pendingMu_ held.
   if (dest == kNoWorker) {
@@ -262,13 +435,20 @@ void Server::chase(PendingQuery& q, std::uint64_t corr, ShardId id,
   }
   WQuery req;
   req.shards = {id};
-  req.box = q.box;
-  if (fabric_.send(workerEndpoint(dest),
-                   makeMessage(Op::kWQuery, corr, serverEndpoint(id_),
-                               req.encode()))) {
-    ++q.pendingReplies;
-    chases_.fetch_add(1, std::memory_order_relaxed);
-  }
+  req.box = q->box;
+  Blob payload = req.encode();
+  const std::uint64_t corr = nextCorr_.fetch_add(1);
+  pendingQueries_.emplace(corr, q);
+  retries_.emplace(
+      corr, WireRetry{workerEndpoint(dest), Op::kWQuery, payload, 1,
+                      nowNanos() + retryDelayNanos(cfg_.workerRetry, 1,
+                                                   rng_),
+                      1});
+  ++q->remaining;
+  chases_.fetch_add(1, std::memory_order_relaxed);
+  fabric_.send(workerEndpoint(dest),
+               makeMessage(Op::kWQuery, corr, serverEndpoint(id_),
+                           std::move(payload)));
 }
 
 void Server::handleWorkerQueryReply(const Message& m) {
@@ -277,42 +457,42 @@ void Server::handleWorkerQueryReply(const Message& m) {
   {
     std::lock_guard lock(pendingMu_);
     auto it = pendingQueries_.find(m.corr);
-    if (it == pendingQueries_.end()) return;
+    if (it == pendingQueries_.end()) return;  // late duplicate reply
     q = it->second;
-    const WQueryReply reply = WQueryReply::decode(m.payload);
-    q->agg.merge(reply.agg);
-    q->searched += reply.searchedShards;
-    --q->pendingReplies;
-    for (const auto& [id, dest] : reply.moved) {
-      if (q->queried.count(id) != 0) continue;  // already covered elsewhere
-      q->queried.insert(id);
-      chase(*q, m.corr, id, dest);
+    pendingQueries_.erase(it);
+    retries_.erase(m.corr);
+    try {
+      const WQueryReply reply = WQueryReply::decode(m.payload);
+      q->agg.merge(reply.agg);
+      q->searched += reply.searchedShards;
+      for (const auto& [id, dest] : reply.moved) {
+        if (q->queried.count(id) != 0) continue;  // already covered
+        q->queried.insert(id);
+        chase(q, id, dest);
+      }
+    } catch (const DeserializeError&) {
+      // Corrupt reply: count the chunk as answered with nothing.
     }
-    // The scatter registers the entry with pendingReplies incremented only
-    // after all sends; a reply racing ahead can drive the counter negative
-    // transiently (stored as unsigned would break — hence the signed check
-    // via workersAsked): once registration completed, 0 means done.
-    if (q->pendingReplies == 0 && q->workersAsked > 0) {
-      pendingQueries_.erase(it);
-      finished = true;
-    }
+    finished = --q->remaining == 0;
   }
-  if (finished) finishQuery(m.corr, *q);
+  if (finished) finishQuery(*q);
 }
 
-void Server::finishQuery(std::uint64_t corr, PendingQuery& q) {
+void Server::finishQuery(PendingQuery& q) {
   QueryReply reply;
   reply.agg = q.agg;
   reply.shardsSearched = q.searched;
   reply.workersAsked = q.workersAsked;
-  fabric_.send(q.clientEp, makeMessage(Op::kQueryReply, q.clientCorr,
-                                       serverEndpoint(id_), reply.encode()));
-  (void)corr;
+  reply.unreachableShards = q.unreachable;
+  reply.partial = q.unreachable > 0;
+  if (reply.partial) partialQueries_.fetch_add(1, std::memory_order_relaxed);
+  replyToClient(q.clientEp, q.clientCorr, Op::kQueryReply, reply.encode());
 }
 
 // ---- bulk -------------------------------------------------------------------
 
 void Server::handleBulk(const Message& m) {
+  if (dedupClientRequest(m)) return;
   ByteReader r(m.payload);
   PointSet items = PointSet::deserialize(r);
   insertsRouted_.fetch_add(items.size(), std::memory_order_relaxed);
@@ -333,41 +513,34 @@ void Server::handleBulk(const Message& m) {
     }
     imageLock_.unlock();
   }
+  if (byShard.empty()) {
+    ByteWriter w;
+    w.varint(0);
+    replyToClient(m.from, m.corr, Op::kBulkAck, w.take());
+    return;
+  }
   auto bulk = std::make_shared<PendingBulk>();
   bulk->clientEp = m.from;
   bulk->clientCorr = m.corr;
-  bulk->pendingAcks = 1;  // guard until all sends are registered
-  std::vector<std::uint64_t> corrs;
+  bulk->remaining = static_cast<unsigned>(byShard.size());
   for (auto& [shard, batch] : byShard) {
     ShardBatch req;
     req.shard = shard;
     req.items = std::move(batch);
+    Blob payload = req.encode();
     const std::uint64_t corr = nextCorr_.fetch_add(1);
     {
       std::lock_guard lock(pendingMu_);
       pendingBulks_.emplace(corr, bulk);
+      retries_.emplace(
+          corr,
+          WireRetry{workerEndpoint(workers[shard]), Op::kWBulk, payload, 1,
+                    nowNanos() + retryDelayNanos(cfg_.workerRetry, 1, rng_),
+                    0});
     }
-    if (fabric_.send(workerEndpoint(workers[shard]),
-                     makeMessage(Op::kWBulk, corr, serverEndpoint(id_),
-                                 req.encode()))) {
-      std::lock_guard lock(pendingMu_);
-      ++bulk->pendingAcks;
-    } else {
-      std::lock_guard lock(pendingMu_);
-      pendingBulks_.erase(corr);
-    }
-  }
-  bool finished = false;
-  {
-    std::lock_guard lock(pendingMu_);
-    finished = --bulk->pendingAcks == 0;  // drop the registration guard
-  }
-  if (finished) {
-    ByteWriter w;
-    w.varint(bulk->applied);
-    fabric_.send(bulk->clientEp,
-                 makeMessage(Op::kBulkAck, bulk->clientCorr,
-                             serverEndpoint(id_), w.take()));
+    fabric_.send(workerEndpoint(workers[shard]),
+                 makeMessage(Op::kWBulk, corr, serverEndpoint(id_),
+                             std::move(payload)));
   }
 }
 
@@ -377,20 +550,24 @@ void Server::handleWorkerBulkAck(const Message& m) {
   {
     std::lock_guard lock(pendingMu_);
     auto it = pendingBulks_.find(m.corr);
-    if (it == pendingBulks_.end()) return;
+    if (it == pendingBulks_.end()) return;  // duplicate ack
     bulk = it->second;
     pendingBulks_.erase(it);
-    ByteReader r(m.payload);
-    bulk->applied += r.varint();
-    finished = --bulk->pendingAcks == 0;
+    retries_.erase(m.corr);
+    try {
+      ByteReader r(m.payload);
+      bulk->applied += r.varint();
+    } catch (const DeserializeError&) {
+    }
+    finished = --bulk->remaining == 0;
   }
-  if (finished) {
-    ByteWriter w;
-    w.varint(bulk->applied);
-    fabric_.send(bulk->clientEp,
-                 makeMessage(Op::kBulkAck, bulk->clientCorr,
-                             serverEndpoint(id_), w.take()));
-  }
+  if (finished) finishBulk(*bulk);
+}
+
+void Server::finishBulk(PendingBulk& b) {
+  ByteWriter w;
+  w.varint(b.applied);
+  replyToClient(b.clientEp, b.clientCorr, Op::kBulkAck, w.take());
 }
 
 // ---- keeper synchronization -------------------------------------------------

@@ -4,10 +4,20 @@
 // image is synchronized with the global image in the keeper at a
 // configurable rate (default 3 s, SIII-B) — pushing locally-grown bounding
 // boxes with CAS-merges and applying remote changes via one-shot watches.
+//
+// Fault tolerance: client requests are deduplicated by (client, corr) —
+// retransmissions of an in-flight request are dropped, retransmissions of a
+// completed one are answered from a bounded replay cache, so client-side
+// retries are exactly-once. Worker-facing requests carry their own
+// retry/backoff budget; a query whose budget runs out for some shards
+// completes anyway with `partial` set (graceful degradation), while an
+// insert whose budget runs out is dropped unacked so the client's retry
+// drives end-to-end recovery.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -17,6 +27,8 @@
 
 #include "cluster/local_image.hpp"
 #include "cluster/protocol.hpp"
+#include "common/retry.hpp"
+#include "common/rng.hpp"
 #include "common/rwspin.hpp"
 #include "common/thread_pool.hpp"
 #include "keeper/keeper.hpp"
@@ -32,6 +44,10 @@ struct ServerConfig {
   /// use many threads, all using the same index in parallel"). The event
   /// loop additionally owns keeper synchronization.
   unsigned threads = 2;
+  /// Retry budget for worker-facing requests. Deliberately tighter than the
+  /// default client budget so a query degrades to a partial reply before
+  /// the client gives up on the whole request.
+  RetryPolicy workerRetry{100'000'000, 1'000'000'000, 10'000'000, 1.6, 5};
 };
 
 class Server {
@@ -54,6 +70,17 @@ class Server {
     std::uint64_t syncPushes = 0;     // dirty boxes pushed to the keeper
     std::uint64_t watchEvents = 0;
     std::uint64_t chases = 0;  // re-routed after a shard moved
+    // Fault tolerance.
+    std::uint64_t workerRetries = 0;    // worker-facing retransmissions
+    std::uint64_t insertsDropped = 0;   // insert retry budget exhausted
+    std::uint64_t partialQueries = 0;   // replied with partial == true
+    std::uint64_t repliesReplayed = 0;  // client retries answered from cache
+    std::uint64_t dupRequests = 0;      // client retries dropped (in flight)
+    // Gauges: all must return to 0 once traffic drains (leak detector).
+    std::size_t pendingInserts = 0;
+    std::size_t pendingQueries = 0;
+    std::size_t pendingBulks = 0;
+    std::size_t retryEntries = 0;
   };
   Stats stats() const;
 
@@ -66,24 +93,47 @@ class Server {
     std::string clientEp;
     std::uint64_t clientCorr = 0;
   };
+  /// Gather state for one client query, shared by its scatter chunks. Each
+  /// chunk (one worker) has its own correlation id, registered before the
+  /// send, so a duplicate or late reply simply misses the map — no counter
+  /// races.
   struct PendingQuery {
     std::string clientEp;
     std::uint64_t clientCorr = 0;
     QueryBox box;
-    /// Signed: a reply can race ahead of the scatter loop's final count
-    /// (the entry registers before sending), driving this below zero
-    /// transiently; workersAsked > 0 marks registration complete.
-    int pendingReplies = 0;
+    unsigned remaining = 0;  // chunks not yet answered or expired
     Aggregate agg;
     std::uint32_t searched = 0;
     std::uint32_t workersAsked = 0;
+    std::uint32_t unreachable = 0;  // shards whose chunk exhausted retries
     std::unordered_set<ShardId> queried;
   };
   struct PendingBulk {
     std::string clientEp;
     std::uint64_t clientCorr = 0;
-    unsigned pendingAcks = 0;
+    unsigned remaining = 0;
     std::uint64_t applied = 0;
+  };
+  /// Retransmission state for one worker-facing request, keyed by the same
+  /// corr as its pending entry. The sweep retransmits overdue entries with
+  /// the same corr (workers deduplicate) and expires exhausted ones.
+  struct WireRetry {
+    std::string dest;
+    Op op = Op::kWInsert;
+    Blob payload;
+    unsigned attempts = 1;
+    std::uint64_t dueNanos = 0;
+    std::uint32_t shards = 0;  // query chunks: for unreachable accounting
+  };
+  /// Wire identity of an insert whose worker budget was exhausted, keyed by
+  /// its client key. A client retransmission must resume this EXACT request
+  /// (same corr, dest, payload) so the worker's dedup still recognizes it:
+  /// re-routing under a fresh corr would double-apply an insert that landed
+  /// with only its ack lost. Bounded FIFO, like the replay cache.
+  struct DroppedInsert {
+    std::uint64_t corr = 0;
+    std::string dest;
+    Blob payload;
   };
 
   void serve();
@@ -99,8 +149,27 @@ class Server {
   void refreshShard(ShardId id);
   void refreshShardList();
   void syncPush();
-  void chase(PendingQuery& q, std::uint64_t corr, ShardId id, WorkerId dest);
-  void finishQuery(std::uint64_t corr, PendingQuery& q);
+  void chase(const std::shared_ptr<PendingQuery>& q, ShardId id,
+             WorkerId dest);
+  void finishQuery(PendingQuery& q);
+  void finishBulk(PendingBulk& b);
+  /// True if the request is a duplicate (replayed or dropped) and the
+  /// caller must not process it.
+  bool dedupClientRequest(const Message& m);
+  /// True if `m` retransmits an insert whose worker budget was exhausted;
+  /// the original wire request was re-issued with a fresh budget.
+  bool resumeDroppedInsert(const Message& m);
+  /// Complete a client request: clears the in-flight marker, remembers the
+  /// reply for future retransmissions, and sends it.
+  void replyToClient(const std::string& ep, std::uint64_t corr, Op op,
+                     Blob payload);
+  /// Retransmit overdue worker-facing requests; expire exhausted ones.
+  void sweepRetries();
+  std::uint64_t nextWakeNanos(std::uint64_t nextSync);
+
+  static std::string clientKey(const std::string& ep, std::uint64_t corr) {
+    return ep + '#' + std::to_string(corr);
+  }
 
   Fabric& fabric_;
   const Schema& schema_;
@@ -115,13 +184,19 @@ class Server {
   mutable RwSpinLock imageLock_;
   LocalImage image_;
 
-  std::mutex pendingMu_;
+  mutable std::mutex pendingMu_;
   std::atomic<std::uint64_t> nextCorr_{1};
   std::unordered_map<std::uint64_t, PendingInsert> pendingInserts_;
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingQuery>>
       pendingQueries_;
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingBulk>>
       pendingBulks_;
+  std::unordered_map<std::uint64_t, WireRetry> retries_;
+  std::unordered_set<std::string> inFlightClient_;  // (client,corr) pending
+  DedupCache replay_;  // completed replies for client retransmissions
+  std::unordered_map<std::string, DroppedInsert> droppedInserts_;
+  std::deque<std::string> droppedOrder_;  // FIFO eviction for the above
+  Rng rng_;            // guarded by pendingMu_
 
   std::atomic<std::uint64_t> insertsRouted_{0};
   std::atomic<std::uint64_t> queriesRouted_{0};
@@ -129,6 +204,11 @@ class Server {
   std::atomic<std::uint64_t> syncPushes_{0};
   std::atomic<std::uint64_t> watchEvents_{0};
   std::atomic<std::uint64_t> chases_{0};
+  std::atomic<std::uint64_t> workerRetries_{0};
+  std::atomic<std::uint64_t> insertsDropped_{0};
+  std::atomic<std::uint64_t> partialQueries_{0};
+  std::atomic<std::uint64_t> repliesReplayed_{0};
+  std::atomic<std::uint64_t> dupRequests_{0};
   std::atomic<std::size_t> knownShards_{0};
 
   // Declared after every piece of state its tasks touch: the pool drains

@@ -34,6 +34,13 @@ inline std::string workerPath(WorkerId id) {
   return "/volap/workers/" + std::to_string(id);
 }
 inline std::string serversPath() { return "/volap/servers"; }
+// Worker liveness heartbeats (fault tolerance layer): each worker refreshes
+// its node on the stats cadence; the manager treats a stale node as a dead
+// worker and skips it as a migration target.
+inline std::string alivesPath() { return "/volap/alive"; }
+inline std::string alivePath(WorkerId id) {
+  return "/volap/alive/" + std::to_string(id);
+}
 
 /// One shard's entry in the system image. The box is monotone (it only
 /// grows) and is union-merged by every writer; `count` is NOT monotone

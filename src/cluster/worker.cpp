@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
-#include <unordered_set>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "tree/shard_tree.hpp"
@@ -29,6 +29,7 @@ Worker::Worker(Fabric& fabric, const Schema& schema, WorkerId id,
       cfg_(cfg),
       inbox_(fabric.bind(workerEndpoint(id))),
       zk_(fabric, workerEndpoint(id)),
+      rng_(0x776f726bull ^ id),
       pool_(cfg.threads) {
   thread_ = std::thread([this] { serve(); });
 }
@@ -59,6 +60,11 @@ std::size_t Worker::shardCount() const {
   return n;
 }
 
+std::size_t Worker::retryEntries() const {
+  std::lock_guard lock(retryMu_);
+  return retryMap_.size();
+}
+
 Worker::Slot* Worker::findSlot(ShardId id) {
   auto it = slots_.find(id);
   return it == slots_.end() ? nullptr : &it->second;
@@ -67,13 +73,16 @@ Worker::Slot* Worker::findSlot(ShardId id) {
 void Worker::serve() {
   std::uint64_t nextStats = nowNanos() + cfg_.statsIntervalNanos;
   while (true) {
-    const std::uint64_t now = nowNanos();
+    std::uint64_t now = nowNanos();
     if (now >= nextStats) {
       pushStats();
       nextStats = now + cfg_.statsIntervalNanos;
     }
-    auto m = inbox_->recvFor(std::chrono::nanoseconds(
-        nextStats > now ? nextStats - now : 1));
+    sweepRetries();
+    const std::uint64_t wake = nextWakeNanos(nextStats);
+    now = nowNanos();
+    auto m = inbox_->recvFor(
+        std::chrono::nanoseconds(wake > now ? wake - now : 1));
     if (!m) {
       if (inbox_->closed()) return;
       continue;
@@ -116,10 +125,151 @@ void Worker::serve() {
       case Op::kTransferAck:
         handleTransferAck(*m);
         break;
+      case Op::kWBulkAck:
+      case Op::kTransferItemsAck: {
+        // Ack for something this worker forwarded with its own retry state.
+        std::lock_guard lock(retryMu_);
+        retryMap_.erase(m->corr);
+        break;
+      }
       default:
         break;  // keeper watch events etc.: workers ignore them
     }
   }
+}
+
+// ---- redelivery dedup -------------------------------------------------------
+
+bool Worker::beginRequest(const Message& m) {
+  Op replayOp = Op::kWInsertAck;
+  Blob replayPayload;
+  {
+    std::lock_guard lock(dedupMu_);
+    if (const auto* ack = replay_.find(m.from, m.corr)) {
+      replayOp = static_cast<Op>(ack->op);
+      replayPayload = ack->payload;
+    } else if (!inFlightMsgs_.insert(msgKey(m)).second) {
+      // A twin of this request is mid-apply on another pool thread; drop
+      // this copy — the sender's next retry hits the replay cache.
+      redelivered_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } else {
+      return true;
+    }
+  }
+  redelivered_.fetch_add(1, std::memory_order_relaxed);
+  fabric_.send(m.from, makeMessage(replayOp, m.corr, workerEndpoint(id_),
+                                   std::move(replayPayload)));
+  return false;
+}
+
+void Worker::completeRequest(const Message& m, Op ackOp, Blob ackPayload) {
+  {
+    std::lock_guard lock(dedupMu_);
+    inFlightMsgs_.erase(msgKey(m));
+    replay_.remember(m.from, m.corr, static_cast<std::uint16_t>(ackOp),
+                     ackPayload);
+  }
+  fabric_.send(m.from, makeMessage(ackOp, m.corr, workerEndpoint(id_),
+                                   std::move(ackPayload)));
+}
+
+void Worker::abandonRequest(const Message& m) {
+  std::lock_guard lock(dedupMu_);
+  inFlightMsgs_.erase(msgKey(m));
+}
+
+// ---- worker-to-worker retries -----------------------------------------------
+
+void Worker::sendWithRetry(const std::string& dest, Op op,
+                           std::uint64_t corr, Blob payload, ShardId shard) {
+  {
+    std::lock_guard lock(retryMu_);
+    retryMap_.emplace(
+        corr, WireRetry{dest, op, payload, 1,
+                        nowNanos() + retryDelayNanos(cfg_.transferRetry, 1,
+                                                     rng_),
+                        shard});
+  }
+  fabric_.send(dest, makeMessage(op, corr, workerEndpoint(id_),
+                                 std::move(payload)));
+}
+
+void Worker::sweepRetries() {
+  struct Resend {
+    std::string dest;
+    Op op;
+    std::uint64_t corr;
+    Blob payload;
+  };
+  std::vector<Resend> resend;
+  std::vector<ShardId> abortedMigrations;
+  const std::uint64_t now = nowNanos();
+  {
+    std::lock_guard lock(retryMu_);
+    for (auto it = retryMap_.begin(); it != retryMap_.end();) {
+      WireRetry& rt = it->second;
+      if (rt.dueNanos > now) {
+        ++it;
+        continue;
+      }
+      if (rt.attempts < cfg_.transferRetry.maxAttempts) {
+        ++rt.attempts;
+        rt.dueNanos =
+            now + retryDelayNanos(cfg_.transferRetry, rt.attempts, rng_);
+        resend.push_back({rt.dest, rt.op, it->first, rt.payload});
+        retriesSent_.fetch_add(1, std::memory_order_relaxed);
+        ++it;
+        continue;
+      }
+      if (rt.op == Op::kTransferShard) {
+        abortedMigrations.push_back(rt.shard);
+      } else {
+        // A forwarded batch or migration-queue remnant is gone for good:
+        // its items were already acked upstream (at-least-once), so all we
+        // can do is count the loss.
+        forwardsLost_.fetch_add(1, std::memory_order_relaxed);
+      }
+      it = retryMap_.erase(it);
+    }
+  }
+  for (auto& r : resend)
+    fabric_.send(r.dest, makeMessage(r.op, r.corr, workerEndpoint(id_),
+                                     std::move(r.payload)));
+  for (ShardId id : abortedMigrations) abortMigration(id);
+}
+
+std::uint64_t Worker::nextWakeNanos(std::uint64_t nextStats) {
+  std::uint64_t wake = nextStats;
+  std::lock_guard lock(retryMu_);
+  for (const auto& [corr, rt] : retryMap_)
+    wake = std::min(wake, rt.dueNanos);
+  return wake;
+}
+
+void Worker::abortMigration(ShardId id) {
+  PendingMigration pm;
+  {
+    std::lock_guard lock(slotsMu_);
+    auto it = pendingMigrations_.find(id);
+    if (it == pendingMigrations_.end()) return;  // already completed
+    pm = it->second;
+    pendingMigrations_.erase(it);
+    Slot* slot = findSlot(id);
+    if (slot != nullptr && slot->busy) {
+      drainInserts(*slot->activeInserts);
+      PointSet queued(schema_.dims());
+      slot->queue->collect(queued);
+      slot->shard->bulkLoad(queued);
+      slot->queue.reset();
+      slot->busy = false;
+    }
+  }
+  migrationsAborted_.fetch_add(1, std::memory_order_relaxed);
+  MigrateDone done{false, id, pm.dest};
+  fabric_.send(pm.managerEp, makeMessage(Op::kMigrateDone, pm.managerCorr,
+                                         workerEndpoint(id_),
+                                         done.encode()));
 }
 
 // ---- data path --------------------------------------------------------------
@@ -139,15 +289,16 @@ bool pointInDomain(const Schema& schema, PointRef p) {
 }  // namespace
 
 void Worker::handleInsert(const Message& m) {
+  if (!beginRequest(m)) return;
   const WInsert req = WInsert::decode(m.payload);
   if (!pointInDomain(schema_, req.point.ref())) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
-    fabric_.send(m.from, makeMessage(Op::kWInsertAck, m.corr,
-                                     workerEndpoint(id_), {}));
+    completeRequest(m, Op::kWInsertAck, {});
     return;
   }
   std::shared_ptr<Shard> target;
   std::shared_ptr<std::atomic<std::uint32_t>> active;
+  bool forwarded = false;
   {
     std::lock_guard lock(slotsMu_);
     ShardId cur = req.shard;
@@ -172,15 +323,19 @@ void Worker::handleInsert(const Message& m) {
       if (slot->movedTo != kNoWorker) {
         // Forwarding stub: pass the insert through to the new owner with
         // the RESOLVED shard id (the chain may have redirected a stale id
-        // to a split child the destination knows under its own id); the
-        // destination acks the originating server directly.
+        // to a split child the destination knows under its own id) and the
+        // ORIGINAL (from, corr), so the destination acks the originating
+        // server directly and deduplicates its retransmissions itself. A
+        // dropped forward heals end to end: the server retries, this stub
+        // forwards again, the destination dedups.
         WInsert fwdReq;
         fwdReq.shard = cur;
         fwdReq.point = req.point;
         fabric_.send(workerEndpoint(slot->movedTo),
                      makeMessage(Op::kWInsert, m.corr, m.from,
                                  fwdReq.encode()));
-        return;
+        forwarded = true;
+        break;
       }
       bool redirected = false;
       for (const auto& [plane, rightId] : slot->splits) {
@@ -200,13 +355,16 @@ void Worker::handleInsert(const Message& m) {
       break;
     }
   }
+  if (forwarded) {
+    abandonRequest(m);  // the new owner acks; retransmissions re-forward
+    return;
+  }
   if (target) {
     target->insert(req.point.ref());
     active->fetch_sub(1, std::memory_order_acq_rel);
     inserts_.fetch_add(1, std::memory_order_relaxed);
   }
-  fabric_.send(m.from, makeMessage(Op::kWInsertAck, m.corr,
-                                   workerEndpoint(id_), {}));
+  completeRequest(m, Op::kWInsertAck, {});
 }
 
 void Worker::handleQuery(const Message& m) {
@@ -248,17 +406,28 @@ void Worker::handleQuery(const Message& m) {
     ++reply.searchedShards;
   }
   queries_.fetch_add(1, std::memory_order_relaxed);
+  // Queries are read-only and their replies idempotent to merge exactly
+  // because the server dedups by chunk corr — no replay cache needed.
   fabric_.send(m.from, makeMessage(Op::kWQueryReply, m.corr,
                                    workerEndpoint(id_), reply.encode()));
 }
 
 void Worker::handleBulk(const Message& m) {
+  const Op ackOp = static_cast<Op>(m.type) == Op::kWBulk
+                       ? Op::kWBulkAck
+                       : Op::kTransferItemsAck;
+  const bool acked = m.corr != 0;
+  if (acked && !beginRequest(m)) return;
   ShardBatch batch = ShardBatch::decode(m.payload);
-  if (batch.items.dims() != schema_.dims()) return;
+  if (batch.items.dims() != schema_.dims()) {
+    if (acked) abandonRequest(m);
+    return;
+  }
   for (std::size_t i = 0; i < batch.items.size(); ++i) {
     if (!pointInDomain(schema_, batch.items.at(i))) {
       dropped_.fetch_add(batch.items.size(), std::memory_order_relaxed);
-      return;  // poisoned batch: reject wholesale
+      if (acked) abandonRequest(m);
+      return;  // poisoned batch: reject wholesale, never ack
     }
   }
   // Resolve the slot, partitioning recursively along split mappings.
@@ -268,6 +437,11 @@ void Worker::handleBulk(const Message& m) {
     PointSet items;
   };
   std::vector<Target> targets;
+  struct Forward {
+    WorkerId dest;
+    ShardBatch batch;
+  };
+  std::vector<Forward> forwards;
   std::uint64_t forwarded = 0;
   std::vector<std::pair<ShardId, PointSet>> work;
   work.emplace_back(batch.shard, std::move(batch.items));
@@ -282,17 +456,16 @@ void Worker::handleBulk(const Message& m) {
         continue;
       }
       if (slot->movedTo != kNoWorker) {
-        // Forward to the new owner but keep ack ownership here: the server
-        // expects exactly one ack per kWBulk, so the forwarded portion is
-        // counted as applied (at-least-once, like the insert path) and the
-        // destination's ack is suppressed via corr 0.
+        // Forward to the new owner but keep ack ownership here: the sender
+        // expects exactly one ack per batch, so the forwarded portion is
+        // counted as applied now (at-least-once) and the hop to the new
+        // owner gets its own corr + retry budget below.
         forwarded += items.size();
-        ShardBatch fwd;
-        fwd.shard = id;
-        fwd.items = std::move(items);
-        fabric_.send(workerEndpoint(slot->movedTo),
-                     makeMessage(static_cast<Op>(m.type), 0, m.from,
-                                 fwd.encode()));
+        Forward f;
+        f.dest = slot->movedTo;
+        f.batch.shard = id;
+        f.batch.items = std::move(items);
+        forwards.push_back(std::move(f));
         continue;
       }
       if (!slot->splits.empty()) {
@@ -338,6 +511,12 @@ void Worker::handleBulk(const Message& m) {
       targets.push_back(std::move(t));
     }
   }
+  for (auto& f : forwards) {
+    // The forwarded hop rides this worker's own retry budget; the new
+    // owner acks (kWBulkAck / kTransferItemsAck back to us) to stop it.
+    sendWithRetry(workerEndpoint(f.dest), static_cast<Op>(m.type),
+                  nextCorr_.fetch_add(1), f.batch.encode(), 0);
+  }
   std::uint64_t applied = 0;
   for (auto& t : targets) {
     t.shard->bulkLoad(t.items);
@@ -345,11 +524,10 @@ void Worker::handleBulk(const Message& m) {
     t.active->fetch_sub(1, std::memory_order_acq_rel);
   }
   inserts_.fetch_add(applied, std::memory_order_relaxed);
-  if (static_cast<Op>(m.type) == Op::kWBulk && m.corr != 0) {
+  if (acked) {
     ByteWriter w;
     w.varint(applied + forwarded);
-    fabric_.send(m.from, makeMessage(Op::kWBulkAck, m.corr,
-                                     workerEndpoint(id_), w.take()));
+    completeRequest(m, ackOp, w.take());
   }
 }
 
@@ -478,20 +656,31 @@ void Worker::handleMigrateShard(const Message& m) {
   drainInserts(*active);
   xfer.shard = req.shard;
   xfer.blob = shard->serializeShard();
-  fabric_.send(workerEndpoint(req.dest),
-               makeMessage(Op::kTransferShard, req.shard,
-                           workerEndpoint(id_), xfer.encode()));
+  // The transfer rides a retry budget; if it exhausts, the migration is
+  // aborted and rolled back (see sweepRetries / abortMigration).
+  sendWithRetry(workerEndpoint(req.dest), Op::kTransferShard,
+                nextCorr_.fetch_add(1), xfer.encode(), req.shard);
 }
 
 void Worker::handleTransferShard(const Message& m) {
   const TransferShard xfer = TransferShard::decode(m.payload);
-  std::shared_ptr<Shard> shard;
-  try {
-    shard = deserializeShard(schema_, xfer.blob);
-  } catch (const DeserializeError&) {
-    return;  // corrupt transfer; the source will keep owning the shard
-  }
+  bool install = false;
   {
+    std::lock_guard lock(slotsMu_);
+    Slot* existing = findSlot(xfer.shard);
+    // Idempotent install: a retransmitted transfer (our ack was dropped)
+    // must NOT clobber the live slot — it may already have absorbed
+    // queued items and forwarded inserts. Just re-ack.
+    install = existing == nullptr || !existing->shard ||
+              existing->movedTo != kNoWorker;
+  }
+  if (install) {
+    std::shared_ptr<Shard> shard;
+    try {
+      shard = deserializeShard(schema_, xfer.blob);
+    } catch (const DeserializeError&) {
+      return;  // corrupt transfer; the source will keep owning the shard
+    }
     std::lock_guard lock(slotsMu_);
     Slot slot;
     slot.shard = std::move(shard);
@@ -505,6 +694,10 @@ void Worker::handleTransferShard(const Message& m) {
 }
 
 void Worker::handleTransferAck(const Message& m) {
+  {
+    std::lock_guard lock(retryMu_);
+    retryMap_.erase(m.corr);  // stop retransmitting the transfer
+  }
   ByteReader r(m.payload);
   const ShardId id = r.varint();
   PendingMigration pm;
@@ -512,7 +705,7 @@ void Worker::handleTransferAck(const Message& m) {
   {
     std::lock_guard lock(slotsMu_);
     auto it = pendingMigrations_.find(id);
-    if (it == pendingMigrations_.end()) return;
+    if (it == pendingMigrations_.end()) return;  // duplicate ack
     pm = it->second;
     pendingMigrations_.erase(it);
     Slot* slot = findSlot(id);
@@ -528,9 +721,10 @@ void Worker::handleTransferAck(const Message& m) {
     ShardBatch batch;
     batch.shard = id;
     batch.items = std::move(queued);
-    fabric_.send(workerEndpoint(pm.dest),
-                 makeMessage(Op::kTransferItems, 0, workerEndpoint(id_),
-                             batch.encode()));
+    // Queued items are part of the migration's durability contract: they
+    // carry their own corr + retry budget, acked by kTransferItemsAck.
+    sendWithRetry(workerEndpoint(pm.dest), Op::kTransferItems,
+                  nextCorr_.fetch_add(1), batch.encode(), 0);
   }
   MigrateDone done{true, id, pm.dest};
   fabric_.send(pm.managerEp, makeMessage(Op::kMigrateDone, pm.managerCorr,
@@ -566,12 +760,26 @@ void Worker::pushStats() {
   if (!zk_.set(workerPath(id_), w.data()).has_value())
     zk_.create(workerPath(id_), w.take());
 
+  // Liveness heartbeat: the manager skips workers whose heartbeat is stale
+  // when picking migration targets.
+  ByteWriter hb;
+  hb.u64(nowNanos());
+  if (!zk_.set(alivePath(id_), hb.data()).has_value())
+    zk_.create(alivePath(id_), hb.take());
+
   // CAS-merge per-shard count/box into the system image (SIII-B: workers
   // update shard statistics periodically for the manager).
   for (const auto& [id, info] : shardInfos) {
     for (int attempt = 0; attempt < 4; ++attempt) {
       auto cur = zk_.get(shardPath(id));
-      if (!cur.has_value()) break;  // manager has not registered it yet
+      if (!cur.has_value()) {
+        // The registration (e.g. a SplitDone) got lost before it reached
+        // the keeper: this worker owns the shard, so it repairs the image.
+        ByteWriter out;
+        info.serialize(out);
+        if (zk_.create(shardPath(id), out.take()).has_value()) break;
+        continue;
+      }
       ByteReader r(cur->data);
       ShardInfo stored = ShardInfo::deserialize(r);
       // The owning worker's count is authoritative; the box only grows.

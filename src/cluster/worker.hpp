@@ -3,6 +3,14 @@
 // keeper, and carries out the manager's split and migration plans using the
 // mapping-table + insertion-queue scheme of SIII-E, so queries are never
 // interrupted while a shard is being split or moved.
+//
+// Fault tolerance: the server retransmits lost requests with the same
+// correlation id, so workers deduplicate by (sender, corr) — apply once,
+// re-ack from a bounded replay cache. Worker-to-worker transfers (migration
+// and bulk forwarding) carry their own retry budget; an exhausted shard
+// transfer aborts the migration and rolls the shard back. Each worker also
+// heartbeats a liveness znode so the manager can avoid dead migration
+// targets.
 #pragma once
 
 #include <atomic>
@@ -12,9 +20,13 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "cluster/protocol.hpp"
 #include "cluster/types.hpp"
+#include "common/retry.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "keeper/keeper.hpp"
 #include "net/fabric.hpp"
@@ -25,6 +37,9 @@ namespace volap {
 struct WorkerConfig {
   unsigned threads = 2;  // shard-operation pool ("k parallel threads")
   std::uint64_t statsIntervalNanos = 500'000'000;  // stats push cadence
+  /// Retry budget for worker-to-worker traffic (shard transfers, queued
+  /// migration items, forwarded bulk batches).
+  RetryPolicy transferRetry{100'000'000, 1'000'000'000, 10'000'000, 1.6, 6};
 };
 
 class Worker {
@@ -48,6 +63,15 @@ class Worker {
   std::uint64_t itemsDropped() const { return dropped_.load(); }
   std::uint64_t itemsHeld() const;
   std::size_t shardCount() const;
+
+  // Fault-tolerance counters.
+  std::uint64_t redelivered() const { return redelivered_.load(); }
+  std::uint64_t retriesSent() const { return retriesSent_.load(); }
+  std::uint64_t forwardsLost() const { return forwardsLost_.load(); }
+  std::uint64_t migrationsAborted() const {
+    return migrationsAborted_.load();
+  }
+  std::size_t retryEntries() const;
 
  private:
   /// One shard's slot, including the in-flight split/migration overlay of
@@ -75,6 +99,16 @@ class Worker {
     std::uint64_t managerCorr = 0;
   };
 
+  /// Retransmission state for one worker-to-worker request.
+  struct WireRetry {
+    std::string dest;
+    Op op = Op::kTransferShard;
+    Blob payload;
+    unsigned attempts = 1;
+    std::uint64_t dueNanos = 0;
+    ShardId shard = 0;  // for kTransferShard: which migration to abort
+  };
+
   void serve();
   void handleInsert(const Message& m);
   void handleQuery(const Message& m);
@@ -84,12 +118,35 @@ class Worker {
   void handleMigrateShard(const Message& m);
   void handleTransferShard(const Message& m);
   void handleTransferAck(const Message& m);
-  void handleTransferItems(const Message& m);
   void pushStats();
+
+  /// Redelivery dedup: true if this (sender, corr) is new and the caller
+  /// should process it; false if it was replayed from cache or is still
+  /// being processed by another thread (drop — the sender retries).
+  bool beginRequest(const Message& m);
+  /// Remember the ack for future redeliveries, then send it to m.from.
+  void completeRequest(const Message& m, Op ackOp, Blob ackPayload);
+  /// Forwarded elsewhere or intentionally unacked: forget the in-flight
+  /// marker so a retransmission is processed (e.g. re-forwarded) again.
+  void abandonRequest(const Message& m);
+
+  /// Register a worker-to-worker request for retransmission and send it.
+  void sendWithRetry(const std::string& dest, Op op, std::uint64_t corr,
+                     Blob payload, ShardId shard);
+  /// Retransmit overdue entries; abort/forget exhausted ones.
+  void sweepRetries();
+  std::uint64_t nextWakeNanos(std::uint64_t nextStats);
+  /// Roll an in-flight migration back (transfer budget exhausted): merge
+  /// the insertion queue into the shard and report failure to the manager.
+  void abortMigration(ShardId id);
 
   /// Resolve a shard id to the concrete structures to insert into or query,
   /// following the mapping table. Caller holds slotsMu_.
   Slot* findSlot(ShardId id);
+
+  static std::string msgKey(const Message& m) {
+    return m.from + '#' + std::to_string(m.corr);
+  }
 
   Fabric& fabric_;
   const Schema& schema_;
@@ -101,9 +158,22 @@ class Worker {
   std::map<ShardId, Slot> slots_;
   std::map<ShardId, PendingMigration> pendingMigrations_;
 
+  std::mutex dedupMu_;
+  DedupCache replay_;
+  std::unordered_set<std::string> inFlightMsgs_;
+
+  mutable std::mutex retryMu_;
+  std::unordered_map<std::uint64_t, WireRetry> retryMap_;
+  Rng rng_;  // guarded by retryMu_
+  std::atomic<std::uint64_t> nextCorr_{1};
+
   std::atomic<std::uint64_t> inserts_{0};
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> redelivered_{0};
+  std::atomic<std::uint64_t> retriesSent_{0};
+  std::atomic<std::uint64_t> forwardsLost_{0};
+  std::atomic<std::uint64_t> migrationsAborted_{0};
 
   // Declared after every piece of state its tasks touch: the pool drains
   // and joins before slots_/counters are destroyed.

@@ -1,0 +1,87 @@
+// Fault-tolerance primitives shared by client, server, worker, and keeper
+// client: the retry/backoff policy every request path uses, and a bounded
+// remember-set that makes at-least-once redelivery idempotent (apply once,
+// re-ack every time). The substrate (net::Fabric) loses messages on
+// purpose; these turn lost datagrams into retried, deduplicated requests
+// with a finite budget, after which callers degrade instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace volap {
+
+/// Exponential backoff with decorrelating jitter. attempt is 1-based: the
+/// delay before the first retry uses attempt = 1.
+struct RetryPolicy {
+  std::uint64_t timeoutNanos = 250'000'000;     // first-attempt deadline
+  std::uint64_t maxTimeoutNanos = 2'000'000'000;  // backoff cap
+  std::uint64_t jitterNanos = 25'000'000;       // uniform extra: U(0, jitter)
+  double backoff = 1.6;
+  unsigned maxAttempts = 8;  // total tries including the first send
+};
+
+inline std::uint64_t retryDelayNanos(const RetryPolicy& p, unsigned attempt,
+                                     Rng& rng) {
+  double d = static_cast<double>(p.timeoutNanos);
+  for (unsigned i = 1; i < attempt; ++i) {
+    d *= p.backoff;
+    if (d >= static_cast<double>(p.maxTimeoutNanos)) break;
+  }
+  auto delay = static_cast<std::uint64_t>(d);
+  if (delay > p.maxTimeoutNanos) delay = p.maxTimeoutNanos;
+  if (p.jitterNanos > 0) delay += rng.below(p.jitterNanos + 1);
+  return delay;
+}
+
+/// Bounded (sender, corr) -> stored-ack map with FIFO eviction. A receiver
+/// remembers the ack it produced for each applied request; a redelivered
+/// (sender, corr) is answered from the cache without re-applying. The cap
+/// bounds memory; an entry evicted before a duplicate arrives degrades to
+/// at-least-once for that request (requires the sender to outlive its own
+/// retry budget by `capacity` completed requests — practically never).
+class DedupCache {
+ public:
+  explicit DedupCache(std::size_t capacity = 16384) : cap_(capacity) {}
+
+  struct StoredAck {
+    std::uint16_t op = 0;
+    Blob payload;
+  };
+
+  const StoredAck* find(const std::string& from, std::uint64_t corr) const {
+    auto it = seen_.find(key(from, corr));
+    return it == seen_.end() ? nullptr : &it->second;
+  }
+
+  void remember(const std::string& from, std::uint64_t corr,
+                std::uint16_t op, Blob ackPayload) {
+    std::string k = key(from, corr);
+    auto [it, fresh] = seen_.try_emplace(std::move(k));
+    it->second = {op, std::move(ackPayload)};
+    if (!fresh) return;
+    order_.push_back(it->first);
+    while (order_.size() > cap_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+
+  std::size_t size() const { return seen_.size(); }
+
+ private:
+  static std::string key(const std::string& from, std::uint64_t corr) {
+    return from + '#' + std::to_string(corr);
+  }
+
+  std::size_t cap_;
+  std::unordered_map<std::string, StoredAck> seen_;
+  std::deque<std::string> order_;
+};
+
+}  // namespace volap

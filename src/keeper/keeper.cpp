@@ -1,7 +1,11 @@
 #include "keeper/keeper.hpp"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <functional>
+
+#include "common/clock.hpp"
 
 namespace volap {
 
@@ -219,33 +223,43 @@ void KeeperServer::handle(const Message& m) {
 // ---- client ---------------------------------------------------------------
 
 KeeperClient::KeeperClient(Fabric& fabric, const std::string& owner,
-                           std::string watchEndpoint)
-    : fabric_(fabric), watchEndpoint_(std::move(watchEndpoint)) {
+                           std::string watchEndpoint, RetryPolicy retry)
+    : fabric_(fabric),
+      watchEndpoint_(std::move(watchEndpoint)),
+      retry_(retry),
+      rng_(0x6b656570ull ^ std::hash<std::string>{}(owner)) {
   reply_ = fabric_.bind(owner + "/zk");
 }
 
 Message KeeperClient::rpc(KeeperOp op, Blob payload) {
+  Message dead;
+  dead.payload = {static_cast<std::uint8_t>(KeeperStatus::kNoNode)};
+
   Message m;
   m.type = static_cast<std::uint16_t>(op);
   m.corr = nextCorr_++;
   m.from = reply_->name();
   m.payload = std::move(payload);
   const std::uint64_t corr = m.corr;
-  if (!fabric_.send(kKeeperEndpoint, std::move(m))) {
-    Message dead;
-    dead.payload = {static_cast<std::uint8_t>(KeeperStatus::kNoNode)};
-    return dead;
-  }
-  while (true) {
-    auto resp = reply_->recv();
-    if (!resp) {
-      Message dead;
-      dead.payload = {static_cast<std::uint8_t>(KeeperStatus::kNoNode)};
-      return dead;
+  // At-least-once with a bounded budget: the fabric may eat the request or
+  // the reply, so resend on timeout and match replies by corr. Exhausting
+  // the budget degrades to a NoNode-style failure instead of blocking the
+  // caller's event loop forever.
+  for (unsigned attempt = 1; attempt <= retry_.maxAttempts; ++attempt) {
+    if (!fabric_.send(kKeeperEndpoint, Message(m))) return dead;
+    const std::uint64_t deadline =
+        nowNanos() + retryDelayNanos(retry_, attempt, rng_);
+    for (std::uint64_t now = nowNanos(); now < deadline; now = nowNanos()) {
+      auto resp = reply_->recvFor(std::chrono::nanoseconds(deadline - now));
+      if (!resp) {
+        if (reply_->closed()) return dead;
+        break;  // timed out: next attempt
+      }
+      if (resp->corr == corr) return std::move(*resp);
+      // Stale reply from an abandoned or retried call: drop, keep waiting.
     }
-    if (resp->corr == corr) return std::move(*resp);
-    // Stale reply from an abandoned call: drop and keep waiting.
   }
+  return dead;
 }
 
 std::optional<std::string> KeeperClient::create(const std::string& path,

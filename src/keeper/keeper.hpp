@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/retry.hpp"
+#include "common/rng.hpp"
 #include "net/fabric.hpp"
 
 namespace volap {
@@ -99,10 +101,17 @@ class KeeperServer {
 /// Synchronous client. Each client owns a private reply mailbox
 /// (`<owner>/zk`); watch events are delivered to `watchEndpoint` (normally
 /// the owner's main event-loop mailbox) as KeeperOp::kWatchEvent messages.
+///
+/// Requests ride the lossy fabric, so every call carries a timeout/retry
+/// budget; exhausting it surfaces as the op failing (nullopt / false), the
+/// same way callers already handle NoNode. Redelivered requests are safe:
+/// the ops are either idempotent (get/children/exists/delete) or guarded by
+/// caller-side CAS loops (set with version, create-else-set).
 class KeeperClient {
  public:
   KeeperClient(Fabric& fabric, const std::string& owner,
-               std::string watchEndpoint = "");
+               std::string watchEndpoint = "",
+               RetryPolicy retry = RetryPolicy{});
 
   struct GetResult {
     Blob data;
@@ -135,6 +144,8 @@ class KeeperClient {
   std::string watchEndpoint_;
   std::shared_ptr<Mailbox> reply_;
   std::uint64_t nextCorr_ = 1;
+  RetryPolicy retry_;
+  Rng rng_;
 };
 
 }  // namespace volap

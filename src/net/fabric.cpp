@@ -19,6 +19,12 @@ Fabric::~Fabric() {
   }
   delayCv_.notify_all();
   if (delayThread_.joinable()) delayThread_.join();
+  {
+    // Flush undelivered delayed messages so they cannot outlive the fabric
+    // (each holds a mailbox reference).
+    std::lock_guard lock(delayMu_);
+    delayHeap_.clear();
+  }
   std::lock_guard lock(mu_);
   for (auto& [name, mb] : endpoints_) mb->close();
 }
@@ -48,34 +54,44 @@ void Fabric::setDropRate(double rate) {
   dropRate_.store(rate, std::memory_order_relaxed);
 }
 
+void Fabric::addFaultRule(FaultRule rule) {
+  std::lock_guard lock(faultMu_);
+  rules_.push_back(std::move(rule));
+}
+
+void Fabric::clearFaultRules() {
+  std::lock_guard lock(faultMu_);
+  rules_.clear();
+}
+
+bool Fabric::faulted(const Message& m, const std::string& to,
+                     std::uint64_t& delayNanos) {
+  std::lock_guard lock(faultMu_);
+  const double drop = dropRate_.load(std::memory_order_relaxed);
+  if (drop > 0 && rng_.chance(drop)) return true;
+  for (const auto& r : rules_) {
+    if (m.from.rfind(r.fromPrefix, 0) != 0) continue;
+    if (to.rfind(r.toPrefix, 0) != 0) continue;
+    if (rng_.chance(r.dropRate)) return true;
+  }
+  if (opts_.latencyMeanNanos > 0 || opts_.latencyJitterNanos > 0) {
+    delayNanos = opts_.latencyMeanNanos;
+    if (opts_.latencyJitterNanos > 0)
+      delayNanos += rng_.below(opts_.latencyJitterNanos);
+  }
+  return false;
+}
+
 bool Fabric::send(const std::string& to, Message m) {
   sent_.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t delay = 0;
-  {
-    std::lock_guard lock(mu_);
-    const double drop = dropRate_.load(std::memory_order_relaxed);
-    if (drop > 0 && rng_.chance(drop)) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
-      return true;  // silently eaten, like a lost datagram
-    }
-    if (opts_.latencyMeanNanos > 0 || opts_.latencyJitterNanos > 0) {
-      delay = opts_.latencyMeanNanos;
-      if (opts_.latencyJitterNanos > 0)
-        delay += rng_.below(opts_.latencyJitterNanos);
-    }
+  if (faulted(m, to, delay)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return true;  // silently eaten, like a lost datagram
   }
-  if (delay == 0) return deliver(to, std::move(m));
-  {
-    std::lock_guard lock(delayMu_);
-    delayHeap_.push_back({nowNanos() + delay, to, std::move(m)});
-    std::push_heap(delayHeap_.begin(), delayHeap_.end(),
-                   std::greater<Delayed>());
-  }
-  delayCv_.notify_one();
-  return true;
-}
-
-bool Fabric::deliver(const std::string& to, Message&& m) {
+  // Resolve the destination at send time: a message addressed to an
+  // endpoint that is later unbound dies with that mailbox instead of being
+  // delivered to a rebound namesake.
   std::shared_ptr<Mailbox> mb;
   {
     std::lock_guard lock(mu_);
@@ -83,7 +99,16 @@ bool Fabric::deliver(const std::string& to, Message&& m) {
     if (it == endpoints_.end()) return false;
     mb = it->second;
   }
-  return mb->queue_.push(std::move(m));
+  if (delay == 0) return mb->queue_.push(std::move(m));
+  {
+    std::lock_guard lock(delayMu_);
+    delayHeap_.push_back(
+        {nowNanos() + delay, delaySeq_++, std::move(mb), std::move(m)});
+    std::push_heap(delayHeap_.begin(), delayHeap_.end(),
+                   std::greater<Delayed>());
+  }
+  delayCv_.notify_one();
+  return true;
 }
 
 void Fabric::delayLoop() {
@@ -105,7 +130,7 @@ void Fabric::delayLoop() {
     Delayed d = std::move(delayHeap_.back());
     delayHeap_.pop_back();
     lock.unlock();
-    deliver(d.to, std::move(d.msg));
+    d.to->queue_.push(std::move(d.msg));  // no-op if unbound (closed)
     lock.lock();
   }
 }

@@ -65,6 +65,16 @@ struct FabricOptions {
   std::uint64_t seed = 1;
 };
 
+/// Targeted failure injection: drop messages whose sender/destination match
+/// the given endpoint prefixes (empty prefix matches everything). Lets chaos
+/// tests sever one direction of one link — e.g. every worker->server reply —
+/// while the rest of the cluster stays healthy.
+struct FaultRule {
+  std::string fromPrefix;
+  std::string toPrefix;
+  double dropRate = 1.0;
+};
+
 class Fabric {
  public:
   explicit Fabric(FabricOptions opts = FabricOptions());
@@ -76,7 +86,9 @@ class Fabric {
   /// Create (or fetch) the endpoint `name` and return its mailbox.
   std::shared_ptr<Mailbox> bind(const std::string& name);
 
-  /// Remove an endpoint; subsequent sends to it fail.
+  /// Remove an endpoint; subsequent sends to it fail. Delayed messages
+  /// already in flight toward it are dropped, never delivered to a later
+  /// endpoint reusing the name (they target the old mailbox incarnation).
   void unbind(const std::string& name);
 
   /// Deliver `m` to endpoint `to`. Returns false if the endpoint does not
@@ -94,21 +106,36 @@ class Fabric {
   /// Dynamically adjust the failure model (tests flip this mid-run).
   void setDropRate(double rate);
 
+  void addFaultRule(FaultRule rule);
+  void clearFaultRules();
+
  private:
   struct Delayed {
     std::uint64_t dueNanos;
-    std::string to;
+    std::uint64_t seq;  // FIFO tie-break for equal due times
+    std::shared_ptr<Mailbox> to;
     Message msg;
-    bool operator>(const Delayed& o) const { return dueNanos > o.dueNanos; }
+    bool operator>(const Delayed& o) const {
+      if (dueNanos != o.dueNanos) return dueNanos > o.dueNanos;
+      return seq > o.seq;
+    }
   };
 
-  bool deliver(const std::string& to, Message&& m);
+  /// Returns true if the fault model eats the message; sets `delayNanos`.
+  bool faulted(const Message& m, const std::string& to,
+               std::uint64_t& delayNanos);
   void delayLoop();
 
   FabricOptions opts_;
+
+  // Endpoint map lock. The fault model runs under its own lock (faultMu_)
+  // so concurrent senders do not serialize on mu_ just to roll the RNG.
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Mailbox>> endpoints_;
+
+  std::mutex faultMu_;
   Rng rng_;
+  std::vector<FaultRule> rules_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<double> dropRate_;
@@ -117,6 +144,7 @@ class Fabric {
   std::mutex delayMu_;
   std::condition_variable delayCv_;
   std::vector<Delayed> delayHeap_;
+  std::uint64_t delaySeq_ = 0;
   std::thread delayThread_;
   bool delayStop_ = false;
 };

@@ -1,0 +1,85 @@
+// Scripted fault injection for chaos tests: a FaultPlan walks a fabric's
+// global drop rate through a sequence of timed phases on a background
+// thread (e.g. healthy -> lossy -> storm -> healing), so a test can run a
+// full workload while the network degrades and recovers underneath it.
+// Deterministic given the fabric's seed: the plan only changes *when* the
+// drop probability applies, the coin flips stay on the fabric's RNG.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace volap {
+
+struct FaultPhase {
+  std::chrono::nanoseconds duration{0};
+  double dropRate = 0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(Fabric& fabric, std::vector<FaultPhase> phases,
+            double finalDropRate = 0)
+      : fabric_(fabric),
+        phases_(std::move(phases)),
+        finalDropRate_(finalDropRate) {}
+
+  ~FaultPlan() { stop(); }
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  void start() {
+    std::lock_guard lock(mu_);
+    if (thread_.joinable()) return;
+    stop_ = false;
+    thread_ = std::thread([this] { run(); });
+  }
+
+  /// Ends the plan early (or joins a finished one) and applies the final
+  /// (healed) drop rate. Idempotent.
+  void stop() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    fabric_.setDropRate(finalDropRate_);
+  }
+
+  bool finished() const {
+    std::lock_guard lock(mu_);
+    return done_;
+  }
+
+ private:
+  void run() {
+    for (const auto& phase : phases_) {
+      fabric_.setDropRate(phase.dropRate);
+      std::unique_lock lock(mu_);
+      if (cv_.wait_for(lock, phase.duration, [this] { return stop_; }))
+        return;
+    }
+    fabric_.setDropRate(finalDropRate_);
+    std::lock_guard lock(mu_);
+    done_ = true;
+  }
+
+  Fabric& fabric_;
+  const std::vector<FaultPhase> phases_;
+  const double finalDropRate_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+}  // namespace volap

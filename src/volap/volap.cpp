@@ -20,6 +20,7 @@ VolapCluster::VolapCluster(const Schema& schema, ClusterOptions opts)
   bootZk_->create(shardsPath(), {});
   bootZk_->create(workersPath(), {});
   bootZk_->create(serversPath(), {});
+  bootZk_->create(alivesPath(), {});
 
   for (unsigned w = 0; w < opts_.workers; ++w)
     workers_.push_back(std::make_unique<Worker>(*fabric_, schema_, w,
@@ -79,7 +80,7 @@ std::unique_ptr<Client> VolapCluster::makeClient(const std::string& name,
     idx = nextClientServer_++ % serverCount();
   }
   return std::make_unique<Client>(*fabric_, name, serverEndpoint(idx),
-                                  maxOutstanding);
+                                  maxOutstanding, opts_.clientRetry);
 }
 
 WorkerId VolapCluster::addWorker() {

@@ -36,6 +36,8 @@ struct ClusterOptions {
   ServerConfig server;
   ManagerConfig manager;
   FabricOptions net;
+  /// Retry budget handed to every client session this cluster creates.
+  RetryPolicy clientRetry;
 };
 
 class VolapCluster {

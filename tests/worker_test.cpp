@@ -49,7 +49,9 @@ class WorkerTest : public ::testing::Test {
   }
 
   std::uint64_t insertN(Worker& w, ShardId shard, int n) {
-    std::uint64_t corr = 1000;
+    // Monotone across calls: workers deduplicate redelivered (from, corr)
+    // pairs, so reusing a corr would silently no-op the insert.
+    std::uint64_t& corr = nextCorr_;
     for (int i = 0; i < n; ++i) {
       WInsert req;
       const PointRef p = gen_.next();
@@ -77,6 +79,7 @@ class WorkerTest : public ::testing::Test {
   KeeperServer keeper_;
   DataGenerator gen_;
   std::shared_ptr<Mailbox> me_;
+  std::uint64_t nextCorr_ = 1000;
 };
 
 TEST_F(WorkerTest, CreateInsertQuery) {
@@ -101,6 +104,36 @@ TEST_F(WorkerTest, UnknownShardStillAcksInserts) {
       send(workerEndpoint(0), Op::kWInsert, req.encode(), 5);
   EXPECT_EQ(ack.type, static_cast<std::uint16_t>(Op::kWInsertAck));
   EXPECT_EQ(w.itemsHeld(), 0u);
+}
+
+TEST_F(WorkerTest, RedeliveredRequestsAreDeduplicated) {
+  Worker w(fabric_, schema_, 0);
+  createShard(w, 1);
+  // The same insert retransmitted with one corr: applied once, acked every
+  // time (the replay cache answers the duplicates).
+  WInsert req;
+  const PointRef p = gen_.next();
+  req.shard = 1;
+  req.point = {{p.coords.begin(), p.coords.end()}, p.measure};
+  for (int i = 0; i < 3; ++i) {
+    const Message ack =
+        send(workerEndpoint(0), Op::kWInsert, req.encode(), 500);
+    EXPECT_EQ(ack.type, static_cast<std::uint16_t>(Op::kWInsertAck));
+  }
+  EXPECT_EQ(w.itemsHeld(), 1u);
+  EXPECT_GE(w.redelivered(), 2u);
+  // Same for a bulk batch: the replayed ack reports the original count.
+  ShardBatch batch;
+  batch.shard = 1;
+  batch.items = gen_.generate(40);
+  for (int i = 0; i < 2; ++i) {
+    const Message ack =
+        send(workerEndpoint(0), Op::kWBulk, batch.encode(), 501);
+    EXPECT_EQ(ack.type, static_cast<std::uint16_t>(Op::kWBulkAck));
+    ByteReader r(ack.payload);
+    EXPECT_EQ(r.varint(), 40u);
+  }
+  EXPECT_EQ(w.itemsHeld(), 41u);
 }
 
 TEST_F(WorkerTest, SplitCreatesMappingAndPreservesData) {
