@@ -77,6 +77,7 @@ int main() {
 
   std::printf("%-28s %14s %10s %10s %10s\n", "variant", "ingest_kops",
               "low_ms", "med_ms", "high_ms");
+  BenchJson json("ablation_tree");
   for (auto& v : variants) {
     const double sec = timeIt([&] {
       for (std::size_t i = 0; i < items.size(); ++i)
@@ -96,6 +97,13 @@ int main() {
     std::printf("%-28s %14.1f %10.3f %10.3f %10.3f\n", v.label,
                 static_cast<double>(n) / sec / 1e3, bandMs[0], bandMs[1],
                 bandMs[2]);
+    if (&v == &variants.front()) {  // the paper's default variant
+      json.metric("ops_per_sec", static_cast<double>(n) / sec);
+      json.metric("query_low_ms", bandMs[0]);
+      json.metric("query_med_ms", bandMs[1]);
+      json.metric("query_high_ms", bandMs[2]);
+    }
   }
+  json.write();
   return 0;
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/histogram.hpp"
 
 namespace volap::bench {
 
@@ -65,6 +67,57 @@ inline std::string sparkline(const std::vector<double>& values) {
   }
   return out;
 }
+
+/// Machine-readable bench output: collect flat scalar metrics, then write
+/// `BENCH_<name>.json` (into $VOLAP_BENCH_DIR, default the current
+/// directory) so every run leaves a perf-trajectory point that later PRs —
+/// and the CI release leg — can parse and compare. Keys are free-form, but
+/// throughput goes in `ops_per_sec` and latency in `*_p50_ms` / `*_p99_ms`
+/// so the trajectory stays comparable across PRs.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Standard latency triple from a histogram, in milliseconds.
+  void latency(const std::string& prefix, const LatencyHistogram& h) {
+    metric(prefix + "_p50_ms", static_cast<double>(h.quantileNanos(0.50)) / 1e6);
+    metric(prefix + "_p99_ms", static_cast<double>(h.quantileNanos(0.99)) / 1e6);
+    metric(prefix + "_mean_ms", h.meanNanos() / 1e6);
+  }
+
+  /// Write BENCH_<name>.json; returns false (with a stderr note) on I/O
+  /// failure so benches can stay usable on read-only filesystems.
+  bool write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("VOLAP_BENCH_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %.6g,\n"
+                    "  \"metrics\": {\n", name_.c_str(), scaleFactor());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const double v = std::isfinite(metrics_[i].second)
+                           ? metrics_[i].second : 0.0;  // JSON has no inf/nan
+      std::fprintf(f, "    \"%s\": %.6g%s\n", metrics_[i].first.c_str(), v,
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// Print labeled sparklines for a family of series sharing an x axis.
 inline void printShapes(

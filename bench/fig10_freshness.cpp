@@ -133,5 +133,17 @@ int main() {
                   r.probK[1], r.probK[2], r.probK[3], r.probK[4]);
     }
   }
+
+  BenchJson json("freshness");
+  json.metric("p_expand", pExpand);
+  json.metric("insert_p50_ms",
+              client->insertLatency().quantileNanos(0.5) / 1e6);
+  json.metric("query_p50_ms",
+              client->queryLatency().quantileNanos(0.5) / 1e6);
+  PbsConfig headline = cfg;
+  headline.coverage = 1.0;
+  json.metric("mean_missed_cov100_at_250ms",
+              PbsSimulator(headline).run(0.25).meanMissed);
+  json.write();
   return 0;
 }

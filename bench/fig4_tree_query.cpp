@@ -44,6 +44,12 @@ int main() {
       {ShardKind::kPdcMds, "pdc"},
   };
 
+  // Trajectory point: all hilbert-pdc queries at the final size feed one
+  // histogram so BENCH_query.json tracks the production query hot path.
+  LatencyHistogram hilbertLat;
+  double hilbertSec = 0;
+  std::size_t hilbertQueries = 0;
+
   std::printf("%-12s %10s %-8s %14s %14s\n", "tree", "size", "band",
               "avg_query_ms", "p95_query_ms");
   for (const auto& cand : trees) {
@@ -57,7 +63,13 @@ int main() {
         for (const auto& q : bands[b]) {
           const std::uint64_t t0 = nowNanos();
           const Aggregate agg = shard->query(q.box);
-          lat.record(nowNanos() - t0);
+          const std::uint64_t dt = nowNanos() - t0;
+          lat.record(dt);
+          if (cand.kind == ShardKind::kHilbertPdcMds && s == steps) {
+            hilbertLat.record(dt);
+            hilbertSec += nanosToSeconds(dt);
+            ++hilbertQueries;
+          }
           if (agg.count == 0 && q.coverage > 0.01)
             std::fprintf(stderr, "warning: empty result at coverage %.2f\n",
                          q.coverage);
@@ -70,5 +82,13 @@ int main() {
       }
     }
   }
+
+  BenchJson json("query");
+  json.metric("ops_per_sec",
+              hilbertSec > 0 ? static_cast<double>(hilbertQueries) / hilbertSec
+                             : 0);
+  json.metric("tree_items", static_cast<double>(steps * step));
+  json.latency("query", hilbertLat);
+  json.write();
   return 0;
 }

@@ -93,5 +93,14 @@ int main() {
   std::vector<std::pair<std::string, std::vector<double>>> qry(
       querySeries.begin(), querySeries.end());
   printShapes("query latency vs dims (Fig 5b)", qry);
+
+  BenchJson json("dimensions");
+  for (const auto& [label, values] : insertSeries)
+    if (!values.empty())
+      json.metric(label + "_insert_us_maxdims", values.back());
+  for (const auto& [label, values] : querySeries)
+    if (!values.empty())
+      json.metric(label + "_query_ms_maxdims", values.back());
+  json.write();
   return 0;
 }

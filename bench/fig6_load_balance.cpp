@@ -91,5 +91,17 @@ int main() {
               static_cast<unsigned long long>(cluster.manager().splitsDone()),
               static_cast<unsigned long long>(
                   cluster.manager().migrationsDone()));
+
+  BenchJson json("load_balance");
+  const auto loads = cluster.workerLoads();
+  const auto [mn, mx] = std::minmax_element(loads.begin(), loads.end());
+  json.metric("elapsed_s", nanosToSeconds(nowNanos() - start));
+  json.metric("items", static_cast<double>(cluster.totalItems()));
+  json.metric("final_min_load", static_cast<double>(*mn));
+  json.metric("final_max_load", static_cast<double>(*mx));
+  json.metric("splits", static_cast<double>(cluster.manager().splitsDone()));
+  json.metric("migrations",
+              static_cast<double>(cluster.manager().migrationsDone()));
+  json.write();
   return 0;
 }

@@ -46,6 +46,12 @@ int main() {
   const PointSet sample = gen.generate(20'000);
   const auto bands = qgen.generateBands(sample, benchQueries);
 
+  // Final-phase rates feed BENCH_scaleup.json (last system size wins).
+  BenchJson json("scaleup");
+  double finalInsertRate = 0;
+  LatencyHistogram finalInsertLat, finalQueryLat;
+  double finalQueryOps = 0, finalQuerySec = 0;
+
   std::printf("%10s %4s %-10s %16s %14s\n", "size", "p", "series",
               "kops_per_sec", "avg_lat_ms");
   for (unsigned p = startWorkers; p <= endWorkers; p += 2) {
@@ -75,6 +81,10 @@ int main() {
                 static_cast<double>(benchInserts) / insSec / 1e3,
                 client->insertLatency().meanNanos() / 1e6);
     std::fflush(stdout);
+    if (p == endWorkers) {
+      finalInsertRate = static_cast<double>(benchInserts) / insSec;
+      finalInsertLat = client->insertLatency();
+    }
 
     // Query benchmarks per coverage band.
     for (std::size_t b = 0; b < bands.size(); ++b) {
@@ -90,11 +100,24 @@ int main() {
                   static_cast<double>(bands[b].size()) / qSec / 1e3,
                   client->queryLatency().meanNanos() / 1e6);
       std::fflush(stdout);
+      if (p == endWorkers) {
+        finalQueryOps += static_cast<double>(bands[b].size());
+        finalQuerySec += qSec;
+        finalQueryLat.merge(client->queryLatency());
+      }
     }
     if (p < endWorkers) {
       cluster.addWorker();
       cluster.addWorker();
     }
   }
+
+  json.metric("workers", endWorkers);
+  json.metric("insert_ops_per_sec", finalInsertRate);
+  json.latency("insert", finalInsertLat);
+  json.metric("ops_per_sec",
+              finalQuerySec > 0 ? finalQueryOps / finalQuerySec : 0);
+  json.latency("query", finalQueryLat);
+  json.write();
   return 0;
 }

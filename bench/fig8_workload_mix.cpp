@@ -59,6 +59,8 @@ int main() {
 
   std::printf("%6s %-8s %16s %16s %16s\n", "mix%", "band", "kops_per_sec",
               "query_lat_ms", "insert_lat_ms");
+  double totalOps = 0, totalSec = 0;
+  LatencyHistogram allQ, allI;
   for (std::size_t b = 0; b < bands.size(); ++b) {
     if (bands[b].empty()) continue;
     for (unsigned mix : mixes) {
@@ -92,7 +94,17 @@ int main() {
                   qlat.count() ? qlat.meanNanos() / 1e6 : 0.0,
                   ilat.count() ? ilat.meanNanos() / 1e6 : 0.0);
       std::fflush(stdout);
+      totalOps += static_cast<double>(opsPerCell);
+      totalSec += sec;
+      allQ.merge(qlat);
+      allI.merge(ilat);
     }
   }
+
+  BenchJson json("workload_mix");
+  json.metric("ops_per_sec", totalSec > 0 ? totalOps / totalSec : 0);
+  json.latency("query", allQ);
+  json.latency("insert", allI);
+  json.write();
   return 0;
 }

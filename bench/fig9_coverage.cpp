@@ -72,6 +72,8 @@ int main() {
   std::vector<Obs> obs;
   const std::uint64_t dbCount = cluster.totalItems();
   std::size_t made = 0;
+  LatencyHistogram qlat;
+  double querySec = 0;
   for (std::size_t attempt = 0; attempt < queryCount * 6 && made < queryCount;
        ++attempt) {
     // Mostly anchored random queries; every tenth is the full database so
@@ -80,8 +82,11 @@ int main() {
         attempt % 10 == 9 ? QueryBox(schema) : qgen.random(sample);
     const std::uint64_t t0 = nowNanos();
     const QueryReply r = client->query(q);
-    const double ms = (nowNanos() - t0) / 1e6;
+    const std::uint64_t dt = nowNanos() - t0;
+    const double ms = dt / 1e6;
     if (r.agg.count == 0) continue;
+    qlat.record(dt);
+    querySec += nanosToSeconds(dt);
     obs.push_back({static_cast<double>(r.agg.count) /
                        static_cast<double>(dbCount),
                    ms, r.shardsSearched});
@@ -117,5 +122,13 @@ int main() {
                     static_cast<double>(times.size()),
                 searchedMax);
   }
+
+  BenchJson json("coverage");
+  json.metric("ops_per_sec",
+              querySec > 0 ? static_cast<double>(made) / querySec : 0);
+  json.metric("queries", static_cast<double>(made));
+  json.metric("shards", static_cast<double>(cluster.server(0).knownShards()));
+  json.latency("query", qlat);
+  json.write();
   return 0;
 }

@@ -26,6 +26,8 @@ int main() {
   DataGenerator gen(schema, 3);
   const PointSet items = gen.generate(n);
 
+  BenchJson json("ingest");
+
   // 1. Raw shard: bulk load vs point insert.
   {
     auto bulk = makeShard(ShardKind::kHilbertPdcMds, schema);
@@ -41,6 +43,9 @@ int main() {
                 "shard point insert",
                 static_cast<double>(n) / pointSec / 1e3,
                 pointSec / bulkSec);
+    json.metric("shard_bulk_items_per_sec", static_cast<double>(n) / bulkSec);
+    json.metric("shard_insert_items_per_sec",
+                static_cast<double>(n) / pointSec);
   }
 
   // 2. End-to-end cluster bulk ingestion.
@@ -51,6 +56,7 @@ int main() {
   VolapCluster cluster(schema, opts);
   auto client = cluster.makeClient("ingest", 0, 256);
   {
+    LatencyHistogram batchLat;
     const double sec = timeIt([&] {
       const std::size_t chunk = 20'000;
       for (std::size_t at = 0; at < n; at += chunk) {
@@ -58,11 +64,15 @@ int main() {
         batch.reserve(chunk);
         for (std::size_t i = at; i < std::min(n, at + chunk); ++i)
           batch.push(items.at(i));
+        const std::uint64_t t0 = nowNanos();
         client->bulkLoad(batch);
+        batchLat.record(nowNanos() - t0);
       }
     });
     std::printf("%-28s %12.1f kitems/s\n", "cluster bulk ingest",
                 static_cast<double>(n) / sec / 1e3);
+    json.metric("ops_per_sec", static_cast<double>(n) / sec);
+    json.latency("batch", batchLat);
   }
 
   // 3. Mixed stream: ~70% inserts / 30% aggregate queries.
@@ -93,6 +103,9 @@ int main() {
                 "mixed stream (70/30)",
                 static_cast<double>(ins) / sec / 1e3,
                 static_cast<double>(qry) / sec / 1e3);
+    json.metric("mixed_inserts_per_sec", static_cast<double>(ins) / sec);
+    json.metric("mixed_queries_per_sec", static_cast<double>(qry) / sec);
   }
+  json.write();
   return 0;
 }

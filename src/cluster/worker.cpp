@@ -1,5 +1,7 @@
 #include "cluster/worker.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -12,11 +14,24 @@ namespace volap {
 
 namespace {
 
-/// Spin until no insert is in flight on the slot. New inserts cannot start
-/// while the caller prevents them (busy flag or slotsMu_).
+/// Wait until no insert is in flight on the slot. New inserts cannot start
+/// while the caller prevents them (busy flag or slotsMu_). Inserts finish
+/// in microseconds normally, so spin briefly first; if one stalls (page
+/// fault, scheduler preemption, fault injection), back off through yield
+/// into exponentially growing sleeps (capped ~1 ms) instead of burning a
+/// core on a bare yield loop.
 void drainInserts(const std::atomic<std::uint32_t>& active) {
-  while (active.load(std::memory_order_acquire) != 0)
-    std::this_thread::yield();
+  unsigned spins = 0;
+  while (active.load(std::memory_order_acquire) != 0) {
+    ++spins;
+    if (spins <= 64) continue;  // hot spin: the common, microsecond case
+    if (spins <= 128) {
+      std::this_thread::yield();
+      continue;
+    }
+    const unsigned shift = std::min(spins - 129, 10u);  // 1 us .. ~1 ms
+    std::this_thread::sleep_for(std::chrono::microseconds(1u << shift));
+  }
 }
 
 }  // namespace
@@ -401,10 +416,23 @@ void Worker::handleQuery(const Message& m) {
       }
     }
   }
-  for (const auto& shard : targets) {
-    reply.agg.merge(shard->query(req.box));
-    ++reply.searchedShards;
+  // Fan the shard list across the worker's pool and merge the partial
+  // aggregates afterwards: per-shard queries are read-only and
+  // independent, so a k-thread worker answers a k-shard query in roughly
+  // one shard's time. parallelFor is caller-helping, so running inside a
+  // pool task cannot deadlock even when every pool thread is busy. The
+  // partial-reply semantics (moved/unreachable shards reported via
+  // reply.moved) were resolved above and are untouched by the fan-out.
+  if (targets.size() > 1 && pool_.size() > 1) {
+    std::vector<Aggregate> partials(targets.size());
+    pool_.parallelFor(targets.size(), [&](std::size_t i) {
+      partials[i] = targets[i]->query(req.box);
+    });
+    for (const Aggregate& a : partials) reply.agg.merge(a);
+  } else {
+    for (const auto& shard : targets) reply.agg.merge(shard->query(req.box));
   }
+  reply.searchedShards += static_cast<std::uint32_t>(targets.size());
   queries_.fetch_add(1, std::memory_order_relaxed);
   // Queries are read-only and their replies idempotent to merge exactly
   // because the server dedups by chunk corr — no replay cache needed.

@@ -1,11 +1,14 @@
-// Fixed-size worker pool used for multi-threaded bulk loads and the
-// benchmark drivers. Server/worker nodes do NOT use this: they own their
-// threads directly (see cluster/) so lifecycle maps 1:1 to paper roles.
+// Fixed-size worker pool used for multi-threaded bulk loads, the benchmark
+// drivers, and each cluster worker's shard-operation pool ("k parallel
+// threads", paper SIII-A), including the intra-worker multi-shard query
+// fan-out (parallelFor is callable from inside a pool task).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -39,25 +42,42 @@ class ThreadPool {
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
-  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  /// The CALLING thread participates in the work, so this is safe to call
+  /// from inside a pool task: if every pool thread is busy (or itself
+  /// blocked in a parallelFor), the caller simply drains all n items and
+  /// the helper tasks become no-ops when they eventually run. Completion
+  /// is tracked per item, never per helper, so the call returns as soon as
+  /// all n items finish even if helpers are still queued; helpers own
+  /// their state via shared_ptr, so nothing dangles.
+  void parallelFor(std::size_t n, std::function<void(std::size_t)> fn) {
     if (n == 0) return;
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    const unsigned lanes = size();
-    for (unsigned lane = 0; lane < lanes; ++lane) {
-      submit([&, n] {
-        std::size_t i;
-        while ((i = next.fetch_add(1)) < n) fn(i);
-        if (done.fetch_add(1) + 1 == lanes) {
-          std::lock_guard lock(mu);
-          cv.notify_one();
+    struct Ctx {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> done{0};
+      std::size_t n = 0;
+      std::function<void(std::size_t)> fn;
+      std::mutex mu;
+      std::condition_variable cv;
+    };
+    auto ctx = std::make_shared<Ctx>();
+    ctx->n = n;
+    ctx->fn = std::move(fn);
+    auto body = [ctx] {
+      std::size_t i;
+      while ((i = ctx->next.fetch_add(1)) < ctx->n) {
+        ctx->fn(i);
+        if (ctx->done.fetch_add(1) + 1 == ctx->n) {
+          std::lock_guard lock(ctx->mu);
+          ctx->cv.notify_all();
         }
-      });
-    }
-    std::unique_lock lock(mu);
-    cv.wait(lock, [&] { return done.load() == lanes; });
+      }
+    };
+    const std::size_t helpers =
+        std::min<std::size_t>(size(), n - 1);  // caller takes a lane too
+    for (std::size_t h = 0; h < helpers; ++h) submit(body);
+    body();
+    std::unique_lock lock(ctx->mu);
+    ctx->cv.wait(lock, [&] { return ctx->done.load() == ctx->n; });
   }
 
  private:

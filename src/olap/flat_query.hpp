@@ -1,0 +1,138 @@
+// Flattened query representation for the leaf-scan hot path. A QueryBox is
+// a vector of HierIntervals tested per point with a short-circuit loop;
+// that layout is fine for directory pruning but hostile to leaf scans:
+// every point costs d unpredictable branches and a pointer chase into the
+// interval vector. FlatQuery pre-compiles the box once per query into
+// contiguous lo[]/width[] arrays holding only the *constrained* dimensions,
+// ordered most-selective-first, so a columnar leaf scan is a sequence of
+// branch-free fused interval tests ((c - lo) <= width, one unsigned
+// compare per point per dimension) the compiler can vectorize.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "olap/aggregate.hpp"
+#include "olap/point.hpp"
+#include "olap/query_box.hpp"
+#include "olap/schema.hpp"
+
+namespace volap {
+
+class FlatQuery {
+ public:
+  FlatQuery(const Schema& schema, const QueryBox& q) {
+    struct Ent {
+      unsigned dim;
+      std::uint64_t lo;
+      std::uint64_t width;
+      double frac;  // covered fraction of the dimension (selectivity prior)
+    };
+    std::vector<Ent> ents;
+    ents.reserve(q.dims());
+    for (unsigned j = 0; j < q.dims(); ++j) {
+      const HierInterval& iv = q.dim(j);
+      const std::uint64_t extent = schema.dim(j).extent();
+      if (iv.lo == 0 && iv.hi >= extent - 1) continue;  // unconstrained
+      ents.push_back({j, iv.lo, iv.hi - iv.lo,
+                      static_cast<double>(iv.length()) /
+                          static_cast<double>(extent)});
+    }
+    // Most selective dimension first: the narrowest interval zeroes the
+    // most mask bytes early, making later column passes cheap and letting
+    // callers early-out on an all-zero mask.
+    std::sort(ents.begin(), ents.end(),
+              [](const Ent& a, const Ent& b) { return a.frac < b.frac; });
+    dims_.reserve(ents.size());
+    lo_.reserve(ents.size());
+    width_.reserve(ents.size());
+    for (const Ent& e : ents) {
+      dims_.push_back(e.dim);
+      lo_.push_back(e.lo);
+      width_.push_back(e.width);
+    }
+  }
+
+  /// Number of constrained dimensions (the only ones a scan must test).
+  unsigned constrained() const {
+    return static_cast<unsigned>(dims_.size());
+  }
+  /// Original dimension index of the k-th most selective constraint.
+  unsigned dimAt(unsigned k) const { return dims_[k]; }
+  std::uint64_t lo(unsigned k) const { return lo_[k]; }
+  std::uint64_t width(unsigned k) const { return width_[k]; }
+
+  /// Point-at-a-time test over the constrained dimensions only; the fused
+  /// unsigned compare makes each test a single branchless predicate.
+  bool contains(PointRef p) const {
+    unsigned ok = 1;
+    for (unsigned k = 0; k < constrained(); ++k)
+      ok &= static_cast<unsigned>((p.coords[dims_[k]] - lo_[k]) <= width_[k]);
+    return ok != 0;
+  }
+
+ private:
+  std::vector<unsigned> dims_;
+  std::vector<std::uint64_t> lo_;
+  std::vector<std::uint64_t> width_;
+};
+
+/// One column pass of the branch-free leaf scan:
+/// mask[i] &= (col[i] in [lo, lo+width]) for i in [0, n).
+/// Returns false when no byte survived, so callers can stop scanning the
+/// remaining (less selective) columns of a dead block.
+inline bool maskIntervalColumn(const std::uint64_t* col, std::size_t n,
+                               std::uint64_t lo, std::uint64_t width,
+                               std::uint8_t* mask) {
+  std::uint8_t alive = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mask[i] &= static_cast<std::uint8_t>((col[i] - lo) <= width);
+    alive |= mask[i];
+  }
+  return alive != 0;
+}
+
+/// Aggregate the measures whose mask byte survived; the loop body is
+/// select-based (no data-dependent branches).
+inline Aggregate maskedAggregate(const double* measures,
+                                 const std::uint8_t* mask, std::size_t n) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::uint64_t count = 0;
+  double sum = 0, mn = kInf, mx = -kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool ok = mask[i] != 0;
+    const double m = measures[i];
+    count += ok;
+    sum += ok ? m : 0.0;
+    mn = std::min(mn, ok ? m : kInf);
+    mx = std::max(mx, ok ? m : -kInf);
+  }
+  Aggregate a;
+  if (count != 0) {
+    a.count = count;
+    a.sum = sum;
+    a.min = mn;
+    a.max = mx;
+  }
+  return a;
+}
+
+/// Full scan of one columnar block: `colAt(j)` returns dimension j's
+/// column (n contiguous values). `mask` is caller-owned scratch of at
+/// least n bytes. Matches are merged into `out`.
+template <typename ColAt>
+inline void scanColumns(const FlatQuery& fq, ColAt colAt,
+                        const double* measures, std::size_t n,
+                        std::uint8_t* mask, Aggregate& out) {
+  if (n == 0) return;
+  std::fill_n(mask, n, std::uint8_t{1});
+  for (unsigned k = 0; k < fq.constrained(); ++k)
+    if (!maskIntervalColumn(colAt(fq.dimAt(k)), n, fq.lo(k), fq.width(k),
+                            mask))
+      return;  // block fully rejected by a more selective column
+  out.merge(maskedAggregate(measures, mask, n));
+}
+
+}  // namespace volap

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/rwspin.hpp"
+#include "olap/flat_query.hpp"
 #include "tree/shard.hpp"
 #include "tree/shard_tree.hpp"
 
@@ -38,11 +39,14 @@ class ArrayShard final : public Shard {
   }
 
   Aggregate query(const QueryBox& q) const override {
+    // Flattened query: only the constrained dimensions are tested, each
+    // with a fused lo/hi compare (see olap/flat_query.hpp).
+    const FlatQuery fq(schema_, q);
     Aggregate out;
     lock_.lock_shared();
     for (std::size_t i = 0; i < items_.size(); ++i) {
       const PointRef p = items_.at(i);
-      if (q.contains(p)) out.add(p.measure);
+      if (fq.contains(p)) out.add(p.measure);
     }
     lock_.unlock_shared();
     return out;

@@ -15,6 +15,11 @@
 //  * Queries use cached aggregates whenever a child's key is fully inside
 //    the query box, so high-coverage aggregations never reach the leaves
 //    (Fig. 4 / Fig. 9a).
+//  * Leaves are columnar (one contiguous value column per dimension plus a
+//    measure column), so the residual leaf scan is a branch-free fused
+//    interval test per constrained dimension (see olap/flat_query.hpp)
+//    instead of a per-point short-circuit loop, and the descent itself is
+//    an explicit-stack traversal rather than recursion.
 #pragma once
 
 #include <atomic>
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "common/rwspin.hpp"
+#include "olap/flat_query.hpp"
 #include "tree/key_split.hpp"
 #include "tree/shard.hpp"
 #include "tree/tree_config.hpp"
@@ -89,15 +95,22 @@ class ShardTree final : public Shard {
     root_.store(newRoot, std::memory_order_release);
     oldRoot->lock.unlock();
     freeTree(oldRoot);
-    for (std::size_t i = 0; i < items.size(); ++i) updateBounds(items.at(i));
+    // Fold the whole batch into a local key first so boundsLock_ is taken
+    // once, not once per item.
+    MdsKey batchBounds;
+    for (std::size_t i = 0; i < items.size(); ++i)
+      batchBounds.expand(schema_, items.at(i));
+    boundsLock_.lock();
+    bounds_.merge(schema_, batchBounds);
+    boundsLock_.unlock();
     size_.fetch_add(items.size(), std::memory_order_relaxed);
   }
 
   Aggregate query(const QueryBox& q) const override {
-    Node* n = lockRootShared();
+    const FlatQuery fq(schema_, q);
     Aggregate out;
-    queryNode(*n, q, out);
-    n->lock.unlock_shared();
+    Node* n = lockRootShared();
+    queryTree(n, q, fq, out);  // unlocks every node it visits
     return out;
   }
 
@@ -184,8 +197,11 @@ class ShardTree final : public Shard {
     std::vector<HilbertKey> childMaxH;  // Hilbert variants only
     std::vector<Node*> children;
 
-    // Data payload (leaf): structure-of-arrays items.
-    std::vector<std::uint64_t> coords;  // dims * count
+    // Data payload (leaf): true structure-of-arrays — one contiguous
+    // column per dimension (cols[j][i] = item i's coordinate in dimension
+    // j) plus the measure column, so a query scans only the constrained
+    // columns, each a vectorizable interval test over contiguous memory.
+    std::vector<std::vector<std::uint64_t>> cols;  // [dims][count]
     std::vector<double> measures;
     std::vector<HilbertKey> hkeys;  // Hilbert variants only, sorted
   };
@@ -202,6 +218,7 @@ class ShardTree final : public Shard {
   Node* newNode(bool leaf) {
     Node* n = new Node();
     n->leaf = leaf;
+    if (leaf) n->cols.resize(schema_.dims());
     nodeCount_.fetch_add(1, std::memory_order_relaxed);
     return n;
   }
@@ -272,8 +289,9 @@ class ShardTree final : public Shard {
           n.hkeys.begin());
       n.hkeys.insert(n.hkeys.begin() + static_cast<std::ptrdiff_t>(pos), h);
     }
-    n.coords.insert(n.coords.begin() + static_cast<std::ptrdiff_t>(pos * d),
-                    p.coords.begin(), p.coords.end());
+    for (unsigned j = 0; j < d; ++j)
+      n.cols[j].insert(n.cols[j].begin() + static_cast<std::ptrdiff_t>(pos),
+                       p.coords[j]);
     n.measures.insert(
         n.measures.begin() + static_cast<std::ptrdiff_t>(pos), p.measure);
   }
@@ -420,17 +438,19 @@ class ShardTree final : public Shard {
 
   void splitLeaf(Node& c, Node& sib) {
     const std::size_t n = leafCount(c);
+    std::vector<std::uint64_t> buf;
     if (cfg_.split == SplitAlgo::kQuadratic) {
       std::vector<Key> keys;
       keys.reserve(n);
       for (std::size_t i = 0; i < n; ++i)
-        keys.push_back(Key::forPoint(schema_, leafAt(c, i)));
+        keys.push_back(Key::forPoint(schema_, gatherLeaf(c, i, buf)));
       const std::vector<bool> toRight = quadraticAssign(keys);
       moveLeafEntries(c, sib, toRight);
       return;
     }
-    const std::size_t cut = orderedCut(
-        n, [&](std::size_t i) { return Key::forPoint(schema_, leafAt(c, i)); });
+    const std::size_t cut = orderedCut(n, [&](std::size_t i) {
+      return Key::forPoint(schema_, gatherLeaf(c, i, buf));
+    });
     std::vector<bool> toRight(n, false);
     for (std::size_t i = cut; i < n; ++i) toRight[i] = true;
     moveLeafEntries(c, sib, toRight);
@@ -467,14 +487,14 @@ class ShardTree final : public Shard {
     const unsigned d = schema_.dims();
     const std::size_t n = leafCount(c);
     Node tmp;
+    tmp.cols.resize(d);
     for (std::size_t i = 0; i < n; ++i) {
       Node& dst = toRight[i] ? sib : tmp;
-      dst.coords.insert(dst.coords.end(), c.coords.begin() + i * d,
-                        c.coords.begin() + (i + 1) * d);
+      for (unsigned j = 0; j < d; ++j) dst.cols[j].push_back(c.cols[j][i]);
       dst.measures.push_back(c.measures[i]);
       if (hilbert()) dst.hkeys.push_back(c.hkeys[i]);
     }
-    c.coords = std::move(tmp.coords);
+    c.cols = std::move(tmp.cols);
     c.measures = std::move(tmp.measures);
     c.hkeys = std::move(tmp.hkeys);
   }
@@ -518,20 +538,27 @@ class ShardTree final : public Shard {
 
   // ---- node summaries ----------------------------------------------------
 
-  PointRef leafAt(const Node& n, std::size_t i) const {
+  /// Materialize leaf item i from the columns into `buf`; the returned
+  /// view stays valid until the next gather into the same buffer. Only
+  /// cold paths (splits, collect, key computation) need whole points; the
+  /// query scan works on the columns directly.
+  PointRef gatherLeaf(const Node& n, std::size_t i,
+                      std::vector<std::uint64_t>& buf) const {
     const unsigned d = schema_.dims();
-    return {std::span<const std::uint64_t>(n.coords.data() + i * d, d),
-            n.measures[i]};
+    buf.resize(d);
+    for (unsigned j = 0; j < d; ++j) buf[j] = n.cols[j][i];
+    return {std::span<const std::uint64_t>(buf.data(), d), n.measures[i]};
   }
 
   Key computeKey(const Node& n) const {
     Key k;
     if (n.leaf) {
+      std::vector<std::uint64_t> buf;
       for (std::size_t i = 0; i < leafCount(n); ++i) {
         if (i == 0)
-          k = Key::forPoint(schema_, leafAt(n, i));
+          k = Key::forPoint(schema_, gatherLeaf(n, i, buf));
         else
-          k.expand(schema_, leafAt(n, i));
+          k.expand(schema_, gatherLeaf(n, i, buf));
       }
     } else {
       for (const Key& ck : n.childKeys) k.merge(schema_, ck);
@@ -556,16 +583,48 @@ class ShardTree final : public Shard {
 
   // ---- queries -----------------------------------------------------------
 
-  /// n is locked shared by the caller.
-  void queryNode(const Node& n, const QueryBox& q, Aggregate& out) const {
-    if (n.leaf) {
-      for (std::size_t i = 0; i < leafCount(n); ++i) {
-        const PointRef p = leafAt(n, i);
-        if (q.contains(p)) out.add(p.measure);
+  /// Branch-free columnar scan of one leaf (see olap/flat_query.hpp):
+  /// every constrained column gets a fused lo/hi interval pass over
+  /// contiguous memory, then the survivors' measures are aggregated.
+  void scanLeaf(const Node& n, const FlatQuery& fq,
+                std::vector<std::uint8_t>& mask, Aggregate& out) const {
+    const std::size_t cnt = leafCount(n);
+    if (cnt == 0) return;
+    if (mask.size() < cnt) mask.resize(cnt);
+    scanColumns(
+        fq, [&](unsigned j) { return n.cols[j].data(); },
+        n.measures.data(), cnt, mask.data(), out);
+  }
+
+  /// Explicit-stack traversal; holds shared locks on the current
+  /// root-to-node path exactly like the recursive descent it replaces, and
+  /// still honors the cached-aggregate pruning: a child key containedIn
+  /// the query merges childAggs and never descends.
+  void queryTree(const Node* root, const QueryBox& q, const FlatQuery& fq,
+                 Aggregate& out) const {
+    struct Frame {
+      const Node* n;
+      std::size_t next;  // next child index to examine
+    };
+    std::vector<Frame> stack;
+    stack.reserve(8);
+    std::vector<std::uint8_t> mask(cfg_.leafCapacity);
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const Node& n = *f.n;
+      if (n.leaf) {
+        scanLeaf(n, fq, mask, out);
+        n.lock.unlock_shared();
+        stack.pop_back();
+        continue;
       }
-      return;
-    }
-    for (std::size_t i = 0; i < n.children.size(); ++i) {
+      if (f.next == n.children.size()) {
+        n.lock.unlock_shared();
+        stack.pop_back();
+        continue;
+      }
+      const std::size_t i = f.next++;
       if (!n.childKeys[i].intersects(q)) continue;
       if (n.childKeys[i].containedIn(q)) {
         out.merge(n.childAggs[i]);  // cached aggregate: no descent
@@ -573,14 +632,15 @@ class ShardTree final : public Shard {
       }
       Node* c = n.children[i];
       c->lock.lock_shared();
-      queryNode(*c, q, out);
-      c->lock.unlock_shared();
+      stack.push_back({c, 0});  // invalidates f; reloaded next iteration
     }
   }
 
   void collectNode(const Node& n, PointSet& out) const {
     if (n.leaf) {
-      for (std::size_t i = 0; i < leafCount(n); ++i) out.push(leafAt(n, i));
+      std::vector<std::uint64_t> buf;
+      for (std::size_t i = 0; i < leafCount(n); ++i)
+        out.push(gatherLeaf(n, i, buf));
       return;
     }
     for (Node* c : n.children) {
@@ -611,13 +671,12 @@ class ShardTree final : public Shard {
     for (std::size_t start = 0; start < order.size(); start += leafFill) {
       const std::size_t end = std::min(order.size(), start + leafFill);
       Node* leaf = newNode(true);
-      leaf->coords.reserve((end - start) * d);
+      for (unsigned j = 0; j < d; ++j) leaf->cols[j].reserve(end - start);
       leaf->measures.reserve(end - start);
       leaf->hkeys.reserve(end - start);
       for (std::size_t i = start; i < end; ++i) {
         const PointRef p = items.at(order[i]);
-        leaf->coords.insert(leaf->coords.end(), p.coords.begin(),
-                            p.coords.end());
+        for (unsigned j = 0; j < d; ++j) leaf->cols[j].push_back(p.coords[j]);
         leaf->measures.push_back(p.measure);
         leaf->hkeys.push_back(keys[order[i]]);
       }
@@ -659,6 +718,11 @@ class ShardTree final : public Shard {
       if (hilbert())
         assert(std::is_sorted(n.hkeys.begin(), n.hkeys.end()));
       assert(leafCount(n) <= cfg_.leafCapacity);
+      assert(n.cols.size() == schema_.dims());
+      for (const auto& col : n.cols) {
+        assert(col.size() == leafCount(n));
+        (void)col;
+      }
       return;
     }
     assert(!n.children.empty());
