@@ -1,0 +1,96 @@
+// Recovery bench — crash a worker holding live shards and measure MTTR:
+// the wall-clock from the kill until a full-coverage query is exact again
+// (all acked items visible, no partial flag). Exercises the whole
+// durability pipeline: stale-heartbeat detection + grace, epoch fencing,
+// checkpoint + WAL replay onto survivors, and image repair propagation.
+//
+// Emits BENCH_recovery.json {recovery_ms, dead_window_ms, items,
+// shards_rehosted} for the CI perf-trajectory.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "olap/data_gen.hpp"
+#include "volap/volap.hpp"
+
+int main() {
+  using namespace volap;
+  using namespace volap::bench;
+  using namespace std::chrono_literals;
+  banner("Recovery: worker crash to exact full-coverage answers",
+         "checkpoints + WAL bound MTTR to detection + replay; no acked "
+         "insert is lost across a hard worker kill");
+
+  const Schema schema = Schema::tpcds();
+  ClusterOptions opts;
+  opts.servers = 2;
+  opts.workers = 4;
+  opts.initialShardsPerWorker = 2;
+  opts.worker.threads = 2;
+  opts.worker.statsIntervalNanos = 40'000'000;
+  opts.worker.checkpointIntervalNanos = 60'000'000;
+  opts.server.syncIntervalNanos = 100'000'000;
+  opts.manager.periodNanos = 50'000'000;
+  opts.manager.aliveTimeoutNanos = 250'000'000;
+  opts.manager.deadGraceNanos = 150'000'000;
+  opts.manager.enabled = false;  // isolate recovery from balancing
+  opts.clientRetry = {40'000'000, 400'000'000, 10'000'000, 1.6, 12};
+  VolapCluster cluster(schema, opts);
+  auto client = cluster.makeClient("bench", 0, 256);
+  DataGenerator gen(schema, 20260808);
+
+  const std::size_t items = scaled(6'000);
+  for (std::size_t i = 0; i < items; ++i) client->insertAsync(gen.next());
+  client->drain();
+  const std::uint64_t acked = client->insertsAcked();
+  std::printf("ingested %llu items (acked), %llu expired\n",
+              static_cast<unsigned long long>(acked),
+              static_cast<unsigned long long>(client->insertsExpired()));
+
+  // Let every shard reach a checkpoint so replay is checkpoint + short WAL
+  // (the steady state), not a cold full-WAL rebuild.
+  const unsigned victimShards = cluster.worker(1).shardCount();
+  const auto ckptDeadline = std::chrono::steady_clock::now() + 5s;
+  while (cluster.worker(1).checkpointsTaken() < victimShards &&
+         std::chrono::steady_clock::now() < ckptDeadline)
+    std::this_thread::sleep_for(5ms);
+
+  const std::uint64_t t0 = nowNanos();
+  cluster.crashWorker(1);
+
+  // Dead window: first moment a full query stops reporting unreachable
+  // shards AND returns the exact count marks full repair.
+  std::uint64_t firstExact = 0;
+  std::uint64_t lastPartial = t0;
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const QueryReply r = client->query(QueryBox(schema));
+    if (!r.partial && r.agg.count == acked) {
+      firstExact = nowNanos();
+      break;
+    }
+    lastPartial = nowNanos();
+    std::this_thread::sleep_for(10ms);
+  }
+  const bool recovered = firstExact != 0;
+  const double recoveryMs =
+      recovered ? static_cast<double>(firstExact - t0) / 1e6 : -1.0;
+  const double deadMs = static_cast<double>(lastPartial - t0) / 1e6;
+  const std::uint64_t rehosted = cluster.manager().recoveriesDone();
+
+  std::printf("%-22s %12s %14s %16s\n", "outcome", "items", "recovery_ms",
+              "shards_rehosted");
+  std::printf("%-22s %12llu %14.1f %16llu\n",
+              recovered ? "exact-after-crash" : "TIMED OUT",
+              static_cast<unsigned long long>(acked), recoveryMs,
+              static_cast<unsigned long long>(rehosted));
+
+  BenchJson json("recovery");
+  json.metric("recovery_ms", recoveryMs);
+  json.metric("dead_window_ms", deadMs);
+  json.metric("items", static_cast<double>(acked));
+  json.metric("shards_rehosted", static_cast<double>(rehosted));
+  json.write();
+  return recovered ? 0 : 1;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + tests plain, then again under TSan (the
-# chaos test is part of the suite in both passes), then a Release (-O3)
-# perf-smoke leg that runs the leaf-scan microbenchmark with its 2x
-# speedup floor enforced and checks that the BENCH_*.json trajectory
+# CI entry point: tier-1 build + tests plain, then again under TSan, then
+# under ASan+UBSan (the chaos and crash-recovery tests are part of the
+# suite in every pass), then a Release (-O3) perf-smoke leg that runs the
+# leaf-scan microbenchmark with its 2x speedup floor enforced plus the
+# crash-recovery MTTR bench, and checks that the BENCH_*.json trajectory
 # files parse. Usage: ./ci.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -22,12 +23,13 @@ run_pass() {
 
 run_pass plain build
 run_pass tsan build-tsan -DVOLAP_SANITIZE=thread
+run_pass asan-ubsan build-asan -DVOLAP_SANITIZE=address,undefined
 
 echo "==== [release] configure ===="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 echo "==== [release] build perf smoke ===="
 cmake --build build-release -j "$JOBS" \
-  --target leaf_scan fig4_tree_query headline_ingest
+  --target leaf_scan fig4_tree_query headline_ingest recovery
 echo "==== [release] perf smoke ===="
 BENCH_DIR="build-release/bench-json"
 mkdir -p "$BENCH_DIR"
@@ -37,6 +39,8 @@ VOLAP_BENCH_DIR="$BENCH_DIR" VOLAP_SCALE=0.05 \
   ./build-release/bench/fig4_tree_query >/dev/null
 VOLAP_BENCH_DIR="$BENCH_DIR" VOLAP_SCALE=0.05 \
   ./build-release/bench/headline_ingest >/dev/null
+VOLAP_BENCH_DIR="$BENCH_DIR" VOLAP_SCALE=0.2 \
+  ./build-release/bench/recovery
 for f in "$BENCH_DIR"/BENCH_*.json; do
   python3 -m json.tool "$f" >/dev/null || { echo "bad JSON: $f"; exit 1; }
   echo "ok: $f"

@@ -32,6 +32,7 @@ void LocalImage::addShard(const ShardInfo& info) {
   leafIndex_.emplace(info.id, leaf);
   workers_[info.id] = info.worker;
   counts_[info.id] = info.count;
+  if (info.epoch > 0) epochs_[info.id] = info.epoch;
 
   if (root_ == nullptr) {
     root_ = leaf;
@@ -227,6 +228,11 @@ bool LocalImage::applyRemote(const ShardInfo& info) {
   }
   auto& cnt = counts_[info.id];
   if (info.count > cnt) cnt = info.count;
+  auto& ep = epochs_[info.id];
+  if (info.epoch > ep) {
+    ep = info.epoch;
+    changed = true;
+  }
   return changed;
 }
 
@@ -248,6 +254,11 @@ std::uint64_t LocalImage::countOf(ShardId id) const {
 void LocalImage::noteCount(ShardId id, std::uint64_t count) {
   auto& cnt = counts_[id];
   if (count > cnt) cnt = count;
+}
+
+std::uint64_t LocalImage::epochOf(ShardId id) const {
+  auto it = epochs_.find(id);
+  return it == epochs_.end() ? 0 : it->second;
 }
 
 std::vector<ShardId> LocalImage::allShards() const {

@@ -61,6 +61,9 @@ class LocalImage {
   MdsKey boxOf(ShardId id) const;
   std::uint64_t countOf(ShardId id) const;
   void noteCount(ShardId id, std::uint64_t count);
+  /// Highest fencing epoch seen for the shard (0 if never fenced). Acks
+  /// stamped with a lower epoch come from a fenced zombie owner.
+  std::uint64_t epochOf(ShardId id) const;
 
   std::vector<ShardId> allShards() const;
 
@@ -94,6 +97,7 @@ class LocalImage {
   std::unordered_map<ShardId, Node*> leafIndex_;
   std::unordered_map<ShardId, WorkerId> workers_;
   std::unordered_map<ShardId, std::uint64_t> counts_;
+  std::unordered_map<ShardId, std::uint64_t> epochs_;
   std::unordered_set<ShardId> dirty_;
   std::uint64_t tieBreak_ = 0;  // rotates ties among indistinguishable leaves
 };

@@ -8,10 +8,11 @@
 namespace volap {
 
 Manager::Manager(Fabric& fabric, const Schema& schema, ManagerConfig cfg,
-                 ShardId firstShardId)
+                 ShardId firstShardId, DurableLog* durable)
     : fabric_(fabric),
       schema_(schema),
       cfg_(cfg),
+      durable_(durable),
       inbox_(fabric.bind(managerEndpoint())),
       zk_(fabric, managerEndpoint()),
       nextShardId_(firstShardId),
@@ -36,6 +37,9 @@ void Manager::serve() {
     const std::uint64_t now = nowNanos();
     if (now >= nextTick) {
       sweepLeases();
+      // Recovery outranks balancing and runs even while balancing is
+      // paused: a dead worker's shards are unreachable until re-hosted.
+      if (cfg_.recoveryEnabled && durable_ != nullptr) superviseRecovery();
       if (enabled_.load(std::memory_order_relaxed) &&
           inFlight_.load(std::memory_order_relaxed) <
               cfg_.maxConcurrentOps) {
@@ -52,6 +56,7 @@ void Manager::serve() {
     switch (static_cast<Op>(m->type)) {
       case Op::kSplitDone: handleSplitDone(*m); break;
       case Op::kMigrateDone: handleMigrateDone(*m); break;
+      case Op::kRecoverDone: handleRecoverDone(*m); break;
       default: break;
     }
   }
@@ -68,8 +73,15 @@ void Manager::sweepLeases() {
     // Reclaim the slot; the next analysis re-derives whatever still needs
     // doing from the (worker-repaired) image. A Done arriving after this
     // misses the lease map and is ignored.
+    if (it->second.kind == PendingOp::Kind::kRecover) {
+      // Un-pend the shard: the next supervision tick re-fences (bumping
+      // the epoch again, so a late install from THIS attempt is rejected)
+      // and retries on a fresh target.
+      pendingRecover_.erase(it->second.shard);
+    } else {
+      inFlight_.fetch_sub(1);
+    }
     it = pendingOps_.erase(it);
-    inFlight_.fetch_sub(1);
     opsTimedOut_.fetch_add(1);
   }
 }
@@ -102,7 +114,8 @@ bool Manager::readImage(std::map<WorkerId, WorkerStats>& workers,
   return true;
 }
 
-std::set<WorkerId> Manager::readDeadWorkers() {
+std::set<WorkerId> Manager::readDeadWorkers(std::uint64_t extraGraceNanos,
+                                            std::set<WorkerId>* haveBeat) {
   std::set<WorkerId> dead;
   auto names = zk_.children(alivesPath());
   if (!names.has_value()) return dead;  // no liveness tree: assume alive
@@ -110,16 +123,100 @@ std::set<WorkerId> Manager::readDeadWorkers() {
   for (const auto& name : *names) {
     auto got = zk_.get(alivesPath() + "/" + name);
     if (!got.has_value()) continue;
+    const auto id =
+        static_cast<WorkerId>(std::strtoul(name.c_str(), nullptr, 10));
+    if (haveBeat != nullptr) haveBeat->insert(id);
     try {
       ByteReader r(got->data);
       const std::uint64_t beat = r.u64();
-      if (beat + cfg_.aliveTimeoutNanos < now)
-        dead.insert(static_cast<WorkerId>(
-            std::strtoul(name.c_str(), nullptr, 10)));
+      if (beat + cfg_.aliveTimeoutNanos + extraGraceNanos < now)
+        dead.insert(id);
     } catch (const DeserializeError&) {
     }
   }
   return dead;
+}
+
+void Manager::superviseRecovery() {
+  // A dead worker (heartbeat stale past timeout + grace) cannot serve or
+  // ack anything; every shard the image still maps to it is fenced in the
+  // durable store and its state shipped to a live worker.
+  std::set<WorkerId> haveBeat;
+  const std::set<WorkerId> dead =
+      readDeadWorkers(cfg_.deadGraceNanos, &haveBeat);
+
+  std::map<WorkerId, WorkerStats> workers;
+  std::vector<ShardInfo> shards;
+  if (!readImage(workers, shards)) return;
+
+  // A worker the image maps shards to but that never wrote a liveness
+  // znode (killed or partitioned before its first heartbeat) would stay
+  // "assumed alive" forever. Seed a beat for it: a live worker overwrites
+  // the seed on its next push; a dead one lets it go stale, which is what
+  // finally admits it into `dead` and unblocks recovery.
+  for (const ShardInfo& s : shards) {
+    if (haveBeat.count(s.worker) != 0) continue;
+    ByteWriter hb;
+    hb.u64(nowNanos());
+    zk_.create(alivePath(s.worker), hb.take());
+    haveBeat.insert(s.worker);
+  }
+
+  if (dead.empty() && pendingRecover_.empty()) return;
+
+  // Live recovery targets, lightest first; recoveries round-robin across
+  // them so one survivor does not absorb a whole dead worker alone.
+  std::vector<WorkerId> targets;
+  for (const auto& [id, s] : workers)
+    if (dead.count(id) == 0) targets.push_back(id);
+  std::sort(targets.begin(), targets.end(),
+            [&](WorkerId a, WorkerId b) {
+              return workers[a].totalItems < workers[b].totalItems;
+            });
+  if (targets.empty()) return;  // nobody left to host anything
+
+  std::size_t rr = 0;
+  std::set<WorkerId> stillOwning;  // dead workers with shards left to move
+  for (const ShardInfo& s : shards) {
+    if (dead.count(s.worker) == 0) continue;
+    stillOwning.insert(s.worker);
+    if (pendingRecover_.count(s.id) != 0) continue;
+    if (pendingRecover_.size() >= cfg_.maxConcurrentRecoveries) continue;
+    // Fence first: after this, the dead owner's appends/checkpoints fail
+    // even if it is secretly alive (a zombie), so the snapshot is final.
+    auto snap = durable_->fence(s.id);
+    if (!snap.has_value()) continue;  // shard never wrote: nothing to move
+    RecoverShard req;
+    req.shard = s.id;
+    req.epoch = snap->epoch;
+    req.checkpoint = std::move(snap->checkpoint);
+    req.wal = std::move(snap->wal);
+    const WorkerId target = targets[rr++ % targets.size()];
+    const std::uint64_t corr = nextCorr_++;
+    pendingOps_[corr] = {PendingOp::Kind::kRecover,
+                         nowNanos() + cfg_.opLeaseNanos, s.id};
+    pendingRecover_[s.id] = s.worker;
+    if (!fabric_.send(workerEndpoint(target),
+                      makeMessage(Op::kRecoverShard, corr,
+                                  managerEndpoint(), req.encode()))) {
+      pendingOps_.erase(corr);
+      pendingRecover_.erase(s.id);
+    }
+  }
+
+  // Retire a dead worker's registration only once the image maps none of
+  // its shards to it and nothing is in flight toward it — removing the
+  // heartbeat earlier would make it look alive again (missing znode =
+  // assumed alive) and stall the rest of its recoveries.
+  for (WorkerId w : dead) {
+    if (stillOwning.count(w) != 0) continue;
+    bool inFlight = false;
+    for (const auto& [shard, from] : pendingRecover_)
+      if (from == w) inFlight = true;
+    if (inFlight) continue;
+    zk_.remove(workerPath(w));
+    zk_.remove(alivePath(w));
+  }
 }
 
 void Manager::analyze() {
@@ -190,7 +287,8 @@ void Manager::startSplit(const ShardInfo& shard) {
   req.newShard = allocShardId();
   const std::uint64_t corr = nextCorr_++;
   inFlight_.fetch_add(1);
-  pendingOps_[corr] = {true, nowNanos() + cfg_.opLeaseNanos};
+  pendingOps_[corr] = {PendingOp::Kind::kSplit,
+                       nowNanos() + cfg_.opLeaseNanos, shard.id};
   if (!fabric_.send(workerEndpoint(shard.worker),
                     makeMessage(Op::kSplitShard, corr, managerEndpoint(),
                                 req.encode()))) {
@@ -205,7 +303,8 @@ void Manager::startMigrate(const ShardInfo& shard, WorkerId dest) {
   req.dest = dest;
   const std::uint64_t corr = nextCorr_++;
   inFlight_.fetch_add(1);
-  pendingOps_[corr] = {false, nowNanos() + cfg_.opLeaseNanos};
+  pendingOps_[corr] = {PendingOp::Kind::kMigrate,
+                       nowNanos() + cfg_.opLeaseNanos, shard.id};
   if (!fabric_.send(workerEndpoint(shard.worker),
                     makeMessage(Op::kMigrateShard, corr, managerEndpoint(),
                                 req.encode()))) {
@@ -236,7 +335,8 @@ void Manager::writeShardInfo(const ShardInfo& info, bool relocate,
 
 void Manager::handleSplitDone(const Message& m) {
   auto it = pendingOps_.find(m.corr);
-  if (it == pendingOps_.end()) return;  // lease expired, or duplicate Done
+  if (it == pendingOps_.end() || it->second.kind != PendingOp::Kind::kSplit)
+    return;  // lease expired, duplicate Done, or mismatched op kind
   pendingOps_.erase(it);
   inFlight_.fetch_sub(1);
   const SplitDone done = SplitDone::decode(m.payload);
@@ -252,7 +352,8 @@ void Manager::handleSplitDone(const Message& m) {
 
 void Manager::handleMigrateDone(const Message& m) {
   auto it = pendingOps_.find(m.corr);
-  if (it == pendingOps_.end()) return;  // lease expired, or duplicate Done
+  if (it == pendingOps_.end() || it->second.kind != PendingOp::Kind::kMigrate)
+    return;  // lease expired, duplicate Done, or mismatched op kind
   pendingOps_.erase(it);
   inFlight_.fetch_sub(1);
   const MigrateDone done = MigrateDone::decode(m.payload);
@@ -262,6 +363,30 @@ void Manager::handleMigrateDone(const Message& m) {
   info.worker = done.dest;
   writeShardInfo(info, /*relocate=*/true, /*takeCount=*/false);
   migrations_.fetch_add(1);
+}
+
+void Manager::handleRecoverDone(const Message& m) {
+  auto it = pendingOps_.find(m.corr);
+  if (it == pendingOps_.end() ||
+      it->second.kind != PendingOp::Kind::kRecover)
+    return;  // lease expired, or duplicate/forged Done
+  const ShardId shard = it->second.shard;
+  pendingOps_.erase(it);
+  pendingRecover_.erase(shard);
+  RecoverDone done;
+  try {
+    done = RecoverDone::decode(m.payload);
+  } catch (const DeserializeError&) {
+    return;
+  }
+  // Failure (corrupt durable state, or the target itself got re-fenced):
+  // leave the image alone; the next tick re-fences and retries elsewhere.
+  if (!done.ok || done.info.id != shard) return;
+  // Publish the new placement — epoch included, so servers reject the dead
+  // owner's late acks — and the restored count. Servers pick the change up
+  // through their /volap/shards watches, exactly like a migration.
+  writeShardInfo(done.info, /*relocate=*/true, /*takeCount=*/true);
+  recoveries_.fetch_add(1);
 }
 
 }  // namespace volap

@@ -10,6 +10,16 @@
 // its in-flight slot reclaimed, so balancing never wedges. Late Done
 // reports for expired leases are ignored (no double accounting). Migration
 // targets are chosen among workers with a fresh liveness heartbeat.
+//
+// Crash recovery: when wired to the cluster's DurableLog, the manager also
+// runs the re-hosting supervisor. A worker whose heartbeat stays stale past
+// an extra grace period is declared dead; each shard the image maps to it
+// is fenced in the durable store (epoch bump — the zombie's appends start
+// failing) and its checkpoint + WAL tail shipped to a live worker via
+// kRecoverShard, under the same lease regime. The dead worker's znodes are
+// removed only after every one of its shards has been re-hosted, so a
+// supervisor restart re-derives the remaining work from the image.
+// Recovery runs even while balancing is paused.
 #pragma once
 
 #include <atomic>
@@ -48,12 +58,23 @@ struct ManagerConfig {
   /// a migration target. Workers without a heartbeat znode are assumed
   /// alive (bootstrap races, hand-built test images).
   std::uint64_t aliveTimeoutNanos = 2'500'000'000;
+  /// Crash-recovery supervision (requires a DurableLog). A stale heartbeat
+  /// must persist this long PAST aliveTimeoutNanos before the worker is
+  /// declared dead and its shards re-hosted — transient stalls (GC-like
+  /// pauses, fabric hiccups) should not trigger a fencing storm.
+  bool recoveryEnabled = true;
+  std::uint64_t deadGraceNanos = 2'000'000'000;
+  /// Cap on concurrently outstanding kRecoverShard commands (recovery
+  /// payloads are whole shards; do not flood the fabric).
+  unsigned maxConcurrentRecoveries = 4;
 };
+
+class DurableLog;
 
 class Manager {
  public:
   Manager(Fabric& fabric, const Schema& schema, ManagerConfig cfg,
-          ShardId firstShardId);
+          ShardId firstShardId, DurableLog* durable = nullptr);
   ~Manager();
 
   Manager(const Manager&) = delete;
@@ -70,6 +91,8 @@ class Manager {
   std::uint64_t opsInFlight() const { return inFlight_.load(); }
   /// Operations whose lease expired without a Done report.
   std::uint64_t opsTimedOut() const { return opsTimedOut_.load(); }
+  /// Shards successfully re-hosted off dead workers.
+  std::uint64_t recoveriesDone() const { return recoveries_.load(); }
 
   /// Allocate a fresh shard id (also used by the bootstrap path).
   ShardId allocShardId() { return nextShardId_.fetch_add(1); }
@@ -78,21 +101,32 @@ class Manager {
   struct ShardView {
     ShardInfo info;
   };
-  /// Lease for one outstanding split/migrate command, keyed by its corr.
+  /// Lease for one outstanding split/migrate/recover command, keyed by its
+  /// corr. `shard` is set for recoveries so an expired lease un-pends the
+  /// shard (it gets re-fenced and retried on a later tick).
   struct PendingOp {
-    bool isSplit = false;
+    enum class Kind : std::uint8_t { kSplit, kMigrate, kRecover };
+    Kind kind = Kind::kSplit;
     std::uint64_t deadlineNanos = 0;
+    ShardId shard = 0;
   };
 
   void serve();
   void analyze();
   void sweepLeases();
+  void superviseRecovery();
   void handleSplitDone(const Message& m);
   void handleMigrateDone(const Message& m);
+  void handleRecoverDone(const Message& m);
   bool readImage(std::map<WorkerId, WorkerStats>& workers,
                  std::vector<ShardInfo>& shards);
-  /// Workers whose heartbeat znode exists but is stale.
-  std::set<WorkerId> readDeadWorkers();
+  /// Workers whose heartbeat znode exists but is stale by more than
+  /// aliveTimeout + extraGraceNanos.
+  /// Workers whose liveness beat is stale past aliveTimeout + extra grace.
+  /// When `haveBeat` is given, it collects every worker that has a beat
+  /// znode at all (so callers can spot never-registered workers).
+  std::set<WorkerId> readDeadWorkers(std::uint64_t extraGraceNanos = 0,
+                                     std::set<WorkerId>* haveBeat = nullptr);
   void startSplit(const ShardInfo& shard);
   void startMigrate(const ShardInfo& shard, WorkerId dest);
   void writeShardInfo(const ShardInfo& info, bool relocate,
@@ -101,6 +135,7 @@ class Manager {
   Fabric& fabric_;
   const Schema& schema_;
   ManagerConfig cfg_;
+  DurableLog* const durable_;  // nullable: recovery supervision off
   std::shared_ptr<Mailbox> inbox_;
   KeeperClient zk_;
   std::atomic<ShardId> nextShardId_;
@@ -110,8 +145,12 @@ class Manager {
   std::atomic<std::uint64_t> migrations_{0};
   std::atomic<std::uint64_t> inFlight_{0};
   std::atomic<std::uint64_t> opsTimedOut_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
   std::uint64_t nextCorr_ = 1;
   std::map<std::uint64_t, PendingOp> pendingOps_;  // serve thread only
+  /// Shards with an outstanding kRecoverShard, mapped to the dead worker
+  /// they are being moved off (serve thread only).
+  std::map<ShardId, WorkerId> pendingRecover_;
 
   std::thread thread_;
 };

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/types.hpp"
+#include "common/wal.hpp"
 #include "net/fabric.hpp"
 #include "olap/aggregate.hpp"
 #include "olap/point.hpp"
@@ -36,10 +37,12 @@ enum class Op : std::uint16_t {
   kCreateShard = 0x240,   // shard id + kind
   kSplitShard = 0x241,    // shard id + new shard id
   kMigrateShard = 0x242,  // shard id + destination worker
+  kRecoverShard = 0x243,  // fenced durable state to restore (epoch+ckpt+wal)
   // Worker -> Manager.
   kCreateShardAck = 0x250,
   kSplitDone = 0x251,   // ok + both halves' info
   kMigrateDone = 0x252, // ok + shard id + dest
+  kRecoverDone = 0x253, // ok + restored shard's info
   // Worker <-> Worker (migration transfer).
   kTransferShard = 0x260,  // shard id + serialized blob
   kTransferAck = 0x261,
@@ -108,11 +111,16 @@ struct WQuery {
 };
 
 /// kWQueryReply payload: partial aggregate plus redirections for shards
-/// that have migrated away since the server's image was refreshed.
+/// that have migrated away since the server's image was refreshed, and a
+/// list of requested shards this worker does not host at all (e.g. it was
+/// fenced out of them) — the server counts those as unreachable for this
+/// query and refreshes its image rather than silently treating them as
+/// empty.
 struct WQueryReply {
   Aggregate agg;
   std::uint32_t searchedShards = 0;
   std::vector<std::pair<ShardId, WorkerId>> moved;
+  std::vector<ShardId> notMine;
 
   Blob encode() const {
     ByteWriter w;
@@ -123,6 +131,8 @@ struct WQueryReply {
       w.varint(id);
       w.u32(dst);
     }
+    w.varint(notMine.size());
+    for (auto id : notMine) w.varint(id);
     return w.take();
   }
   static WQueryReply decode(const Blob& b) {
@@ -137,6 +147,32 @@ struct WQueryReply {
       const WorkerId dst = r.u32();
       m.moved.emplace_back(id, dst);
     }
+    const auto nm = r.varint();
+    m.notMine.reserve(nm);
+    for (std::uint64_t i = 0; i < nm; ++i) m.notMine.push_back(r.varint());
+    return m;
+  }
+};
+
+/// kWInsertAck payload: which shard absorbed the item and under which
+/// fencing epoch, so a server whose image already carries a newer epoch can
+/// reject a zombie owner's ack and keep retrying toward the new owner. An
+/// EMPTY ack payload (dropped / out-of-domain items) is accepted as-is.
+struct WInsertAckInfo {
+  ShardId shard = 0;
+  std::uint64_t epoch = 0;
+
+  Blob encode() const {
+    ByteWriter w;
+    w.varint(shard);
+    w.varint(epoch);
+    return w.take();
+  }
+  static WInsertAckInfo decode(const Blob& b) {
+    ByteReader r(b);
+    WInsertAckInfo m;
+    m.shard = r.varint();
+    m.epoch = r.varint();
     return m;
   }
 };
@@ -280,15 +316,19 @@ struct MigrateDone {
 
 /// kTransferShard payload. Carries the mapping-table entry (SIII-E) along
 /// with the data so a previously split shard keeps redirecting queries to
-/// its right half after it moves.
+/// its right half after it moves, plus the fencing epoch the destination
+/// installs the slot under. Doubles as the checkpoint format in the
+/// durable store (recovery decodes the same blob).
 struct TransferShard {
   ShardId shard = 0;
+  std::uint64_t epoch = 0;
   Blob blob;
   std::vector<std::pair<Hyperplane, ShardId>> splits;  // mapping chain
 
   Blob encode() const {
     ByteWriter w;
     w.varint(shard);
+    w.varint(epoch);
     w.bytes(blob);
     w.varint(splits.size());
     for (const auto& [plane, rightId] : splits) {
@@ -301,6 +341,7 @@ struct TransferShard {
     ByteReader r(b);
     TransferShard m;
     m.shard = r.varint();
+    m.epoch = r.varint();
     m.blob = r.bytes();
     const auto n = r.varint();
     m.splits.reserve(n);
@@ -309,6 +350,59 @@ struct TransferShard {
       const ShardId rightId = r.varint();
       m.splits.emplace_back(plane, rightId);
     }
+    return m;
+  }
+};
+
+/// kRecoverShard payload: the fenced durable state of one shard, shipped by
+/// the manager to a surviving worker. `checkpoint` is a TransferShard-format
+/// blob (possibly empty for a shard that never checkpointed); `wal` holds
+/// the records appended after that checkpoint, in apply order.
+struct RecoverShard {
+  ShardId shard = 0;
+  std::uint64_t epoch = 0;  // install under this epoch; zombie is below it
+  Blob checkpoint;
+  std::vector<WalRecord> wal;
+
+  Blob encode() const {
+    ByteWriter w;
+    w.varint(shard);
+    w.varint(epoch);
+    w.bytes(checkpoint);
+    w.varint(wal.size());
+    for (const auto& rec : wal) rec.serialize(w);
+    return w.take();
+  }
+  static RecoverShard decode(const Blob& b) {
+    ByteReader r(b);
+    RecoverShard m;
+    m.shard = r.varint();
+    m.epoch = r.varint();
+    m.checkpoint = r.bytes();
+    const auto n = r.varint();
+    m.wal.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+      m.wal.push_back(WalRecord::deserialize(r));
+    return m;
+  }
+};
+
+/// kRecoverDone payload.
+struct RecoverDone {
+  bool ok = false;
+  ShardInfo info;  // the restored shard as hosted by the new owner
+
+  Blob encode() const {
+    ByteWriter w;
+    w.u8(ok ? 1 : 0);
+    info.serialize(w);
+    return w.take();
+  }
+  static RecoverDone decode(const Blob& b) {
+    ByteReader r(b);
+    RecoverDone m;
+    m.ok = r.u8() != 0;
+    m.info = ShardInfo::deserialize(r);
     return m;
   }
 };

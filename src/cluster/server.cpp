@@ -41,6 +41,7 @@ Server::Stats Server::stats() const {
   s.partialQueries = partialQueries_.load();
   s.repliesReplayed = repliesReplayed_.load();
   s.dupRequests = dupRequests_.load();
+  s.staleEpochAcks = staleEpochAcks_.load();
   {
     std::lock_guard lock(pendingMu_);
     s.pendingInserts = pendingInserts_.size();
@@ -219,6 +220,17 @@ void Server::sweepRetries() {
         ++rt.attempts;
         rt.dueNanos =
             now + retryDelayNanos(cfg_.workerRetry, rt.attempts, rng_);
+        if (rt.op == Op::kWInsert && rt.shard != 0) {
+          // Follow the shard, not the worker: if the image re-homed the
+          // shard since the first send (migration or crash recovery), the
+          // retransmission — same corr, same payload — goes to the new
+          // owner, whose dedup (WAL-seeded after a recovery) recognizes
+          // an already-applied attempt.
+          imageLock_.lock_shared();
+          const WorkerId w = image_.workerOf(rt.shard);
+          imageLock_.unlock_shared();
+          if (w != kNoWorker) rt.dest = workerEndpoint(w);
+        }
         resend.push_back({rt.dest, rt.op, it->first, rt.payload});
         workerRetries_.fetch_add(1, std::memory_order_relaxed);
         ++it;
@@ -239,7 +251,7 @@ void Server::sweepRetries() {
                 clientKey(pit->second.clientEp, pit->second.clientCorr);
             inFlightClient_.erase(key);
             auto [dit, fresh] = droppedInserts_.try_emplace(key);
-            dit->second = {corr, rt.dest, std::move(rt.payload)};
+            dit->second = {corr, rt.dest, std::move(rt.payload), rt.shard};
             if (fresh) {
               droppedOrder_.push_back(dit->first);
               while (droppedOrder_.size() > 8192) {
@@ -296,14 +308,23 @@ bool Server::resumeDroppedInsert(const Message& m) {
     if (it == droppedInserts_.end()) return false;
     corr = it->second.corr;
     dest = it->second.dest;
+    const ShardId shard = it->second.shard;
     payload = std::move(it->second.payload);
     droppedInserts_.erase(it);  // its FIFO slot expires lazily
+    if (shard != 0) {
+      // The original owner may be dead by now; re-resolve. Same corr and
+      // payload, so the (possibly new) owner's dedup still applies.
+      imageLock_.lock_shared();
+      const WorkerId w = image_.workerOf(shard);
+      imageLock_.unlock_shared();
+      if (w != kNoWorker) dest = workerEndpoint(w);
+    }
     pendingInserts_[corr] = {m.from, m.corr};
     retries_.emplace(
         corr, WireRetry{dest, Op::kWInsert, payload, 1,
                         nowNanos() + retryDelayNanos(cfg_.workerRetry, 1,
                                                      rng_),
-                        0});
+                        0, shard});
   }
   fabric_.send(dest, makeMessage(Op::kWInsert, corr, serverEndpoint(id_),
                                  std::move(payload)));
@@ -335,7 +356,7 @@ void Server::handleInsert(const Message& m) {
         corr, WireRetry{workerEndpoint(w), Op::kWInsert, payload, 1,
                         nowNanos() + retryDelayNanos(cfg_.workerRetry, 1,
                                                      rng_),
-                        0});
+                        0, route.shard});
   }
   // A failed send (worker not bound yet) is fine: the sweep retransmits,
   // and on a exhausted budget the unacked insert falls to the client retry.
@@ -345,6 +366,29 @@ void Server::handleInsert(const Message& m) {
 }
 
 void Server::handleWorkerInsertAck(const Message& m) {
+  // Fencing check first — even for acks with no pending entry — so a
+  // zombie's late (or forged) ack is visibly rejected, not silently
+  // ignored as a duplicate. A stamped ack whose epoch is below the
+  // image's epoch for that shard comes from an owner the recovery
+  // supervisor has already fenced out; the pending entry stays and the
+  // retry path drives the insert to the current owner.
+  if (!m.payload.empty()) {
+    try {
+      const WInsertAckInfo info = WInsertAckInfo::decode(m.payload);
+      std::uint64_t imageEpoch = 0;
+      {
+        imageLock_.lock_shared();
+        imageEpoch = image_.epochOf(info.shard);
+        imageLock_.unlock_shared();
+      }
+      if (info.epoch < imageEpoch) {
+        staleEpochAcks_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    } catch (const DeserializeError&) {
+      return;  // garbled ack: keep retrying
+    }
+  }
   PendingInsert pi;
   {
     std::lock_guard lock(pendingMu_);
@@ -469,6 +513,19 @@ void Server::handleWorkerQueryReply(const Message& m) {
         if (q->queried.count(id) != 0) continue;  // already covered
         q->queried.insert(id);
         chase(q, id, dest);
+      }
+      for (ShardId id : reply.notMine) {
+        // The worker we asked does not host this shard (it was fenced out
+        // of it, or our image is stale). Count it unreachable — an honest
+        // partial result — and ask the event loop to re-read the shard's
+        // placement so the NEXT query routes to the real owner.
+        ++q->unreachable;
+        WatchEvent e{WatchEvent::Kind::kData, shardPath(id)};
+        ByteWriter w;
+        e.serialize(w);
+        fabric_.send(serverEndpoint(id_),
+                     makeMessage(static_cast<Op>(KeeperOp::kWatchEvent), 0,
+                                 serverEndpoint(id_), w.take()));
       }
     } catch (const DeserializeError&) {
       // Corrupt reply: count the chunk as answered with nothing.

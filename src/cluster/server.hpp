@@ -76,6 +76,7 @@ class Server {
     std::uint64_t partialQueries = 0;   // replied with partial == true
     std::uint64_t repliesReplayed = 0;  // client retries answered from cache
     std::uint64_t dupRequests = 0;      // client retries dropped (in flight)
+    std::uint64_t staleEpochAcks = 0;   // zombie-owner acks rejected
     // Gauges: all must return to 0 once traffic drains (leak detector).
     std::size_t pendingInserts = 0;
     std::size_t pendingQueries = 0;
@@ -124,16 +125,22 @@ class Server {
     unsigned attempts = 1;
     std::uint64_t dueNanos = 0;
     std::uint32_t shards = 0;  // query chunks: for unreachable accounting
+    /// For kWInsert: the routed shard. Retransmissions re-resolve the
+    /// destination through the image, so an insert outlives its original
+    /// worker — after a crash recovery the SAME request (same corr) lands
+    /// on the new owner, whose WAL-seeded dedup recognizes it.
+    ShardId shard = 0;
   };
   /// Wire identity of an insert whose worker budget was exhausted, keyed by
   /// its client key. A client retransmission must resume this EXACT request
-  /// (same corr, dest, payload) so the worker's dedup still recognizes it:
+  /// (same corr, payload) so the worker's dedup still recognizes it:
   /// re-routing under a fresh corr would double-apply an insert that landed
   /// with only its ack lost. Bounded FIFO, like the replay cache.
   struct DroppedInsert {
     std::uint64_t corr = 0;
     std::string dest;
     Blob payload;
+    ShardId shard = 0;
   };
 
   void serve();
@@ -209,6 +216,7 @@ class Server {
   std::atomic<std::uint64_t> partialQueries_{0};
   std::atomic<std::uint64_t> repliesReplayed_{0};
   std::atomic<std::uint64_t> dupRequests_{0};
+  std::atomic<std::uint64_t> staleEpochAcks_{0};
   std::atomic<std::size_t> knownShards_{0};
 
   // Declared after every piece of state its tasks touch: the pool drains

@@ -46,12 +46,15 @@ inline std::string alivePath(WorkerId id) {
 /// grows) and is union-merged by every writer; `count` is NOT monotone
 /// (splits halve it) so only authoritative writers — the owning worker's
 /// stats push and the manager's split commit — overwrite it; `worker` is
-/// rewritten only by the manager. CAS loops make concurrent writers
-/// converge.
+/// rewritten only by the manager. `epoch` is the fencing generation: it
+/// only ever climbs (max-merged), is bumped by the recovery supervisor on
+/// takeover, and lets anyone reject messages stamped with an older epoch
+/// (a fenced zombie owner). CAS loops make concurrent writers converge.
 struct ShardInfo {
   ShardId id = 0;
   WorkerId worker = kNoWorker;
   std::uint64_t count = 0;
+  std::uint64_t epoch = 0;
   MdsKey box;  // may be empty for a freshly created shard
 
   void mergeFrom(const Schema& schema, const ShardInfo& o, bool takeLocation,
@@ -59,12 +62,14 @@ struct ShardInfo {
     if (takeCount) count = o.count;
     if (o.box.valid()) box.merge(schema, o.box);
     if (takeLocation) worker = o.worker;
+    if (o.epoch > epoch) epoch = o.epoch;  // fencing epochs never regress
   }
 
   void serialize(ByteWriter& w) const {
     w.varint(id);
     w.u32(worker);
     w.varint(count);
+    w.varint(epoch);
     box.serialize(w);
   }
   static ShardInfo deserialize(ByteReader& r) {
@@ -72,6 +77,7 @@ struct ShardInfo {
     s.id = r.varint();
     s.worker = r.u32();
     s.count = r.varint();
+    s.epoch = r.varint();
     s.box = MdsKey::deserialize(r);
     return s;
   }

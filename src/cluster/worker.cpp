@@ -34,14 +34,31 @@ void drainInserts(const std::atomic<std::uint32_t>& active) {
   }
 }
 
+/// WAL record for a batch of applied points. The stored ack lets the
+/// recovery target re-seed its replay cache so the sender's retransmissions
+/// are answered, not re-applied.
+WalRecord makeWalRecord(const Message& m, Op ackOp, const Blob& ackPayload,
+                        const PointSet& items) {
+  WalRecord rec;
+  rec.from = m.from;
+  rec.corr = m.corr;
+  rec.ackOp = static_cast<std::uint16_t>(ackOp);
+  rec.ackPayload = ackPayload;
+  ByteWriter w;
+  items.serialize(w);
+  rec.items = w.take();
+  return rec;
+}
+
 }  // namespace
 
 Worker::Worker(Fabric& fabric, const Schema& schema, WorkerId id,
-               WorkerConfig cfg)
+               WorkerConfig cfg, DurableLog* durable)
     : fabric_(fabric),
       schema_(schema),
       id_(id),
       cfg_(cfg),
+      durable_(durable),
       inbox_(fabric.bind(workerEndpoint(id))),
       zk_(fabric, workerEndpoint(id)),
       rng_(0x776f726bull ^ id),
@@ -54,6 +71,25 @@ Worker::~Worker() { stop(); }
 void Worker::stop() {
   inbox_->close();
   if (thread_.joinable()) thread_.join();
+}
+
+void Worker::crash() {
+  if (crashed_.exchange(true)) return;
+  // Tear the node off the network first — its inbox and keeper-reply
+  // mailbox close, so the serve loop exits and every blocked keeper RPC
+  // fails fast. Messages already in flight toward it die undelivered.
+  fabric_.crash(workerEndpoint(id_));
+  if (thread_.joinable()) thread_.join();
+  // Process memory is gone. The DurableLog (the "disk") is all that
+  // survives; pool tasks still running hold shared_ptr copies and finish
+  // against orphaned shards, their acks going nowhere a live node listens.
+  {
+    std::lock_guard lock(slotsMu_);
+    slots_.clear();
+    pendingMigrations_.clear();
+  }
+  std::lock_guard lock(retryMu_);
+  retryMap_.clear();
 }
 
 std::uint64_t Worker::itemsHeld() const {
@@ -87,14 +123,21 @@ Worker::Slot* Worker::findSlot(ShardId id) {
 
 void Worker::serve() {
   std::uint64_t nextStats = nowNanos() + cfg_.statsIntervalNanos;
+  std::uint64_t nextCheckpoint = nowNanos() + cfg_.checkpointIntervalNanos;
   while (true) {
     std::uint64_t now = nowNanos();
     if (now >= nextStats) {
       pushStats();
       nextStats = now + cfg_.statsIntervalNanos;
     }
+    if (durable_ != nullptr && now >= nextCheckpoint) {
+      checkpointShards();
+      nextCheckpoint = now + cfg_.checkpointIntervalNanos;
+    }
     sweepRetries();
-    const std::uint64_t wake = nextWakeNanos(nextStats);
+    std::uint64_t timer = nextStats;
+    if (durable_ != nullptr) timer = std::min(timer, nextCheckpoint);
+    const std::uint64_t wake = nextWakeNanos(timer);
     now = nowNanos();
     auto m = inbox_->recvFor(
         std::chrono::nanoseconds(wake > now ? wake - now : 1));
@@ -135,6 +178,11 @@ void Worker::serve() {
       case Op::kTransferShard: {
         auto msg = std::make_shared<Message>(std::move(*m));
         pool_.submit([this, msg] { handleTransferShard(*msg); });
+        break;
+      }
+      case Op::kRecoverShard: {
+        auto msg = std::make_shared<Message>(std::move(*m));
+        pool_.submit([this, msg] { handleRecoverShard(*msg); });
         break;
       }
       case Op::kTransferAck:
@@ -254,8 +302,8 @@ void Worker::sweepRetries() {
   for (ShardId id : abortedMigrations) abortMigration(id);
 }
 
-std::uint64_t Worker::nextWakeNanos(std::uint64_t nextStats) {
-  std::uint64_t wake = nextStats;
+std::uint64_t Worker::nextWakeNanos(std::uint64_t nextTimer) {
+  std::uint64_t wake = nextTimer;
   std::lock_guard lock(retryMu_);
   for (const auto& [corr, rt] : retryMap_)
     wake = std::min(wake, rt.dueNanos);
@@ -313,11 +361,15 @@ void Worker::handleInsert(const Message& m) {
   }
   std::shared_ptr<Shard> target;
   std::shared_ptr<std::atomic<std::uint32_t>> active;
+  ShardId targetId = 0;       // id of the slot the item lands in
+  std::uint64_t epoch = 0;    // that slot's fencing epoch
   bool forwarded = false;
+  bool unknown = false;       // no local slot anywhere along the chain
   {
     std::lock_guard lock(slotsMu_);
     ShardId cur = req.shard;
     Slot* fallback = nullptr;  // last local slot seen along the chain
+    ShardId fallbackId = 0;
     for (int hops = 0; hops < 64; ++hops) {
       Slot* slot = findSlot(cur);
       if (slot == nullptr) {
@@ -329,9 +381,11 @@ void Worker::handleInsert(const Message& m) {
         if (fallback != nullptr) {
           target = fallback->busy ? fallback->queue : fallback->shard;
           active = fallback->activeInserts;
+          targetId = fallbackId;
+          epoch = fallback->epoch;
           active->fetch_add(1, std::memory_order_acq_rel);
         } else {
-          dropped_.fetch_add(1, std::memory_order_relaxed);
+          unknown = true;
         }
         break;
       }
@@ -353,6 +407,7 @@ void Worker::handleInsert(const Message& m) {
         break;
       }
       bool redirected = false;
+      const ShardId hereId = cur;
       for (const auto& [plane, rightId] : slot->splits) {
         if (req.point.coords[plane.dim] >= plane.cut) {
           cur = rightId;  // mapping table M_j (SIII-E), in split order
@@ -362,10 +417,13 @@ void Worker::handleInsert(const Message& m) {
       }
       if (redirected) {
         fallback = slot;
+        fallbackId = hereId;
         continue;
       }
       target = slot->busy ? slot->queue : slot->shard;
       active = slot->activeInserts;
+      targetId = cur;
+      epoch = slot->epoch;
       active->fetch_add(1, std::memory_order_acq_rel);
       break;
     }
@@ -374,11 +432,44 @@ void Worker::handleInsert(const Message& m) {
     abandonRequest(m);  // the new owner acks; retransmissions re-forward
     return;
   }
+  if (unknown && durable_ != nullptr && durable_->knows(req.shard)) {
+    // A shard this worker does not host but the durable store knows: we
+    // were fenced out of it (or never owned it while someone else does).
+    // Acking would claim an item that was never applied here, so stay
+    // silent — the sender's retry re-resolves toward the live owner.
+    fencedOps_.fetch_add(1, std::memory_order_relaxed);
+    abandonRequest(m);
+    return;
+  }
   if (target) {
+    // The ack names the slot that actually absorbed the item and its
+    // fencing epoch, so servers can reject a fenced zombie's late acks.
+    const Blob ackPayload = WInsertAckInfo{targetId, epoch}.encode();
+    if (durable_ != nullptr) {
+      // Write-ahead of the ack: log while the insert is counted in-flight
+      // (checkpointing drains that count, so WAL and checkpoint agree). A
+      // failed append means this worker is fenced: drop unacked — the
+      // sender's retry reaches the recovered owner, which already has (or
+      // will dedup) this (from, corr) from the restored WAL.
+      PointSet one(schema_.dims());
+      one.push(req.point.ref());
+      if (!durable_->append(targetId, epoch,
+                            makeWalRecord(m, Op::kWInsertAck, ackPayload,
+                                          one))) {
+        active->fetch_sub(1, std::memory_order_acq_rel);
+        fencedOps_.fetch_add(1, std::memory_order_relaxed);
+        abandonRequest(m);
+        fenceSlot(targetId);
+        return;
+      }
+    }
     target->insert(req.point.ref());
     active->fetch_sub(1, std::memory_order_acq_rel);
     inserts_.fetch_add(1, std::memory_order_relaxed);
+    completeRequest(m, Op::kWInsertAck, ackPayload);
+    return;
   }
+  if (unknown) dropped_.fetch_add(1, std::memory_order_relaxed);
   completeRequest(m, Op::kWInsertAck, {});
 }
 
@@ -398,9 +489,17 @@ void Worker::handleQuery(const Message& m) {
         if (!visited.insert(cur).second) continue;
         Slot* slot = findSlot(cur);
         if (slot == nullptr) {
-          // A split-right child we no longer know about: tell the server
-          // to locate it via its image / the keeper.
-          if (cur != id) reply.moved.emplace_back(cur, kNoWorker);
+          if (cur != id) {
+            // A split-right child we no longer know about: tell the server
+            // to locate it via its image / the keeper.
+            reply.moved.emplace_back(cur, kNoWorker);
+          } else {
+            // A shard the server thinks we host but we do not (never did,
+            // or we were fenced out of it). Reporting it as not-mine makes
+            // the server count it unreachable — a visible partial result —
+            // and refresh its image, instead of silently merging zero.
+            reply.notMine.push_back(cur);
+          }
           continue;
         }
         if (slot->movedTo != kNoWorker) {
@@ -462,6 +561,8 @@ void Worker::handleBulk(const Message& m) {
   struct Target {
     std::shared_ptr<Shard> shard;
     std::shared_ptr<std::atomic<std::uint32_t>> active;
+    ShardId id = 0;
+    std::uint64_t epoch = 0;
     PointSet items;
   };
   std::vector<Target> targets;
@@ -534,6 +635,8 @@ void Worker::handleBulk(const Message& m) {
       Target t;
       t.shard = slot->busy ? slot->queue : slot->shard;
       t.active = slot->activeInserts;
+      t.id = id;
+      t.epoch = slot->epoch;
       t.items = std::move(items);
       t.active->fetch_add(1, std::memory_order_acq_rel);
       targets.push_back(std::move(t));
@@ -545,6 +648,39 @@ void Worker::handleBulk(const Message& m) {
     sendWithRetry(workerEndpoint(f.dest), static_cast<Op>(m.type),
                   nextCorr_.fetch_add(1), f.batch.encode(), 0);
   }
+  std::uint64_t toApply = 0;
+  for (const auto& t : targets) toApply += t.items.size();
+  ByteWriter ackW;
+  ackW.varint(toApply + forwarded);
+  const Blob ackPayload = ackW.take();
+  if (durable_ != nullptr && !targets.empty()) {
+    // Write-ahead of both the apply and the ack, while every target's
+    // in-flight count is held (so a concurrent checkpoint cannot truncate
+    // between our append and apply). If ANY target is fenced, roll back
+    // the appends that did land and drop the whole batch unacked: the
+    // sender's retry re-partitions against fresh placement.
+    bool fenced = false;
+    for (const auto& t : targets) {
+      if (!durable_->append(t.id, t.epoch,
+                            makeWalRecord(m, ackOp, ackPayload, t.items))) {
+        fenced = true;
+        break;
+      }
+    }
+    if (fenced) {
+      for (const auto& t : targets) {
+        durable_->rollback(t.id, m.from, m.corr);
+        t.active->fetch_sub(1, std::memory_order_acq_rel);
+      }
+      fencedOps_.fetch_add(1, std::memory_order_relaxed);
+      if (acked) abandonRequest(m);
+      std::vector<ShardId> shed;
+      for (const auto& t : targets)
+        if (durable_->epochOf(t.id) > t.epoch) shed.push_back(t.id);
+      for (ShardId id : shed) fenceSlot(id);
+      return;
+    }
+  }
   std::uint64_t applied = 0;
   for (auto& t : targets) {
     t.shard->bulkLoad(t.items);
@@ -552,11 +688,7 @@ void Worker::handleBulk(const Message& m) {
     t.active->fetch_sub(1, std::memory_order_acq_rel);
   }
   inserts_.fetch_add(applied, std::memory_order_relaxed);
-  if (acked) {
-    ByteWriter w;
-    w.varint(applied + forwarded);
-    completeRequest(m, ackOp, w.take());
-  }
+  if (acked) completeRequest(m, ackOp, ackPayload);
 }
 
 // ---- control path -----------------------------------------------------------
@@ -568,7 +700,13 @@ void Worker::handleCreateShard(const Message& m) {
     if (slots_.count(req.shard) == 0) {
       Slot slot;
       slot.shard = makeShard(req.kind, schema_);
-      slots_.emplace(req.shard, std::move(slot));
+      if (durable_ != nullptr) slot.epoch = durable_->epochOf(req.shard);
+      const ShardId id = req.shard;
+      auto [it, fresh] = slots_.emplace(id, std::move(slot));
+      // Durable birth certificate: without it, a worker that crashes
+      // before the first checkpoint would leave nothing to recover the
+      // shard's kind (and existence) from.
+      if (durable_ != nullptr) checkpointSlotLocked(id, it->second);
     }
   }
   fabric_.send(m.from, makeMessage(Op::kCreateShardAck, m.corr,
@@ -616,12 +754,14 @@ void Worker::handleSplitShard(const Message& m) {
     // Degenerate data (all items identical in every dimension): abort.
     std::lock_guard lock(slotsMu_);
     Slot* slot = findSlot(req.shard);
-    drainInserts(*slot->activeInserts);
-    PointSet queued(schema_.dims());
-    slot->queue->collect(queued);
-    slot->shard->bulkLoad(queued);
-    slot->queue.reset();
-    slot->busy = false;
+    if (slot != nullptr && slot->busy) {
+      drainInserts(*slot->activeInserts);
+      PointSet queued(schema_.dims());
+      slot->queue->collect(queued);
+      slot->shard->bulkLoad(queued);
+      slot->queue.reset();
+      slot->busy = false;
+    }
     fail();
     return;
   }
@@ -634,6 +774,11 @@ void Worker::handleSplitShard(const Message& m) {
   {
     std::lock_guard lock(slotsMu_);
     Slot* slot = findSlot(req.shard);
+    if (slot == nullptr || !slot->busy) {
+      // The slot vanished mid-split (crashed state cleared, or fenced).
+      fail();
+      return;
+    }
     drainInserts(*slot->activeInserts);
     PointSet queued(schema_.dims());
     slot->queue->collect(queued);
@@ -648,12 +793,23 @@ void Worker::handleSplitShard(const Message& m) {
 
     Slot rightSlot;
     rightSlot.shard = right;
-    slots_.emplace(req.newShard, std::move(rightSlot));
+    rightSlot.epoch = slot->epoch;  // the child inherits the fence epoch
+    auto [rit, fresh] = slots_.emplace(req.newShard, std::move(rightSlot));
 
     done.ok = true;
-    done.left = {req.shard, id_, slot->shard->size(),
+    done.left = {req.shard, id_, slot->shard->size(), slot->epoch,
                  slot->shard->boundingMds()};
-    done.right = {req.newShard, id_, right->size(), right->boundingMds()};
+    done.right = {req.newShard, id_, right->size(), rit->second.epoch,
+                  right->boundingMds()};
+
+    // Re-checkpoint both halves atomically with the commit (inserts are
+    // blocked by slotsMu_, so WAL coverage is exact): a crash after the
+    // split must restore the halves, not resurrect the pre-split parent
+    // whose WAL was already truncated.
+    if (durable_ != nullptr) {
+      checkpointSlotLocked(req.shard, *slot);
+      checkpointSlotLocked(req.newShard, rit->second);
+    }
   }
   fabric_.send(m.from, makeMessage(Op::kSplitDone, m.corr,
                                    workerEndpoint(id_), done.encode()));
@@ -678,6 +834,7 @@ void Worker::handleMigrateShard(const Message& m) {
     slot->queue = makeShard(slot->shard->kind(), schema_);
     shard = slot->shard;
     active = slot->activeInserts;
+    xfer.epoch = slot->epoch;
     xfer.splits = slot->splits;
     pendingMigrations_[req.shard] = {req.dest, m.from, m.corr};
   }
@@ -710,9 +867,20 @@ void Worker::handleTransferShard(const Message& m) {
       return;  // corrupt transfer; the source will keep owning the shard
     }
     std::lock_guard lock(slotsMu_);
+    // Claim the shard in the durable store under the shipped epoch before
+    // serving it. A failure means the shard was fenced past this epoch
+    // while in flight — installing would resurrect stale data, so drop the
+    // transfer unacked and let the source's migration abort.
+    if (durable_ != nullptr &&
+        !durable_->saveCheckpoint(xfer.shard, xfer.epoch, id_,
+                                  Blob(m.payload))) {
+      fencedOps_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     Slot slot;
     slot.shard = std::move(shard);
     slot.splits = xfer.splits;
+    slot.epoch = xfer.epoch;
     slots_[xfer.shard] = std::move(slot);
   }
   ByteWriter w;
@@ -737,8 +905,9 @@ void Worker::handleTransferAck(const Message& m) {
     pm = it->second;
     pendingMigrations_.erase(it);
     Slot* slot = findSlot(id);
+    if (slot == nullptr) return;  // crashed/fenced mid-migration
     drainInserts(*slot->activeInserts);
-    slot->queue->collect(queued);
+    if (slot->queue) slot->queue->collect(queued);
     slot->movedTo = pm.dest;
     slot->queue.reset();
     slot->shard.reset();
@@ -760,6 +929,151 @@ void Worker::handleTransferAck(const Message& m) {
                                          done.encode()));
 }
 
+// ---- crash recovery ---------------------------------------------------------
+
+void Worker::handleRecoverShard(const Message& m) {
+  RecoverDone done;
+  auto report = [&] {
+    fabric_.send(m.from, makeMessage(Op::kRecoverDone, m.corr,
+                                     workerEndpoint(id_), done.encode()));
+  };
+  RecoverShard req;
+  try {
+    req = RecoverShard::decode(m.payload);
+  } catch (const DeserializeError&) {
+    report();  // ok = false
+    return;
+  }
+  {
+    std::lock_guard lock(slotsMu_);
+    Slot* existing = findSlot(req.shard);
+    if (existing != nullptr && existing->shard &&
+        existing->movedTo == kNoWorker && existing->epoch >= req.epoch) {
+      // Duplicate recover (our Done was lost): re-report the live slot.
+      done.ok = true;
+      done.info = {req.shard, id_,
+                   existing->shard->size() +
+                       (existing->queue ? existing->queue->size() : 0),
+                   existing->epoch, existing->shard->boundingMds()};
+      report();
+      return;
+    }
+  }
+  // Rebuild outside the slot lock: checkpoint first, then the WAL tail in
+  // append order (the supervisor fenced the store before snapshotting, so
+  // nothing can have been appended after this state was read).
+  std::shared_ptr<Shard> shard;
+  std::vector<std::pair<Hyperplane, ShardId>> splits;
+  try {
+    if (!req.checkpoint.empty()) {
+      const TransferShard ckpt = TransferShard::decode(req.checkpoint);
+      shard = deserializeShard(schema_, ckpt.blob);
+      splits = ckpt.splits;
+    } else {
+      // The shard existed but never checkpointed (durability enabled
+      // mid-life): start empty with the default kind and replay the WAL.
+      shard = makeShard(ShardKind::kHilbertPdcMds, schema_);
+    }
+    for (const auto& rec : req.wal) {
+      ByteReader r(rec.items);
+      PointSet items = PointSet::deserialize(r);
+      shard->bulkLoad(items);
+    }
+  } catch (const DeserializeError&) {
+    report();  // ok = false: corrupt durable state; supervisor gives up
+    return;
+  }
+  // Seed the replay cache with the logged acks so an originating server
+  // retransmitting an already-applied insert gets an ack instead of a
+  // double apply. Insert acks are re-stamped with the new epoch (the old
+  // stamp would be rejected as a zombie ack — correctly, but needlessly).
+  {
+    std::lock_guard lock(dedupMu_);
+    for (const auto& rec : req.wal) {
+      if (rec.corr == 0) continue;
+      Blob ack = rec.ackPayload;
+      if (rec.ackOp == static_cast<std::uint16_t>(Op::kWInsertAck))
+        ack = WInsertAckInfo{req.shard, req.epoch}.encode();
+      replay_.remember(rec.from, rec.corr, rec.ackOp, std::move(ack));
+    }
+  }
+  {
+    std::lock_guard lock(slotsMu_);
+    Slot slot;
+    slot.shard = shard;
+    slot.splits = splits;
+    slot.epoch = req.epoch;
+    // Fold the replayed WAL into a fresh checkpoint under the new epoch.
+    // Failure means the supervisor re-fenced (it gave up on us and moved
+    // on): report failure so no stale Done wins over the newer recovery.
+    if (durable_ != nullptr && !checkpointSlotLocked(req.shard, slot)) {
+      fencedOps_.fetch_add(1, std::memory_order_relaxed);
+      report();  // ok = false
+      return;
+    }
+    done.info = {req.shard, id_, shard->size(), req.epoch,
+                 shard->boundingMds()};
+    slots_[req.shard] = std::move(slot);
+  }
+  done.ok = true;
+  recovered_.fetch_add(1, std::memory_order_relaxed);
+  report();
+}
+
+bool Worker::checkpointSlotLocked(ShardId id, const Slot& slot) {
+  TransferShard ckpt;
+  ckpt.shard = id;
+  ckpt.epoch = slot.epoch;
+  ckpt.blob = slot.shard->serializeShard();
+  ckpt.splits = slot.splits;
+  if (!durable_->saveCheckpoint(id, slot.epoch, id_, ckpt.encode()))
+    return false;
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Worker::checkpointShards() {
+  std::vector<ShardId> ids;
+  {
+    std::lock_guard lock(slotsMu_);
+    for (const auto& [id, slot] : slots_)
+      if (!slot.busy && slot.movedTo == kNoWorker && slot.shard)
+        ids.push_back(id);
+  }
+  std::vector<ShardId> shed;
+  for (ShardId id : ids) {
+    std::lock_guard lock(slotsMu_);
+    Slot* slot = findSlot(id);
+    if (slot == nullptr || slot->busy || slot->movedTo != kNoWorker ||
+        !slot->shard)
+      continue;
+    // With slotsMu_ held and in-flight inserts drained, the shard contents
+    // equal exactly the checkpoint's WAL coverage: appends happen while
+    // holding an activeInserts ticket acquired under slotsMu_.
+    drainInserts(*slot->activeInserts);
+    if (!checkpointSlotLocked(id, *slot)) shed.push_back(id);
+  }
+  for (ShardId id : shed) fenceSlot(id);
+}
+
+void Worker::fenceSlot(ShardId id) {
+  bool wasBusy = false;
+  {
+    std::lock_guard lock(slotsMu_);
+    auto it = slots_.find(id);
+    if (it == slots_.end()) return;
+    if (it->second.busy) {
+      // A split/migration holds the slot; its own appends/installs will
+      // fail and it unwinds through the normal abort paths. Try later.
+      wasBusy = true;
+    } else {
+      slots_.erase(it);
+      pendingMigrations_.erase(id);
+    }
+  }
+  if (!wasBusy) fencedShards_.fetch_add(1, std::memory_order_relaxed);
+}
+
 // ---- statistics -------------------------------------------------------------
 
 void Worker::pushStats() {
@@ -779,6 +1093,7 @@ void Worker::pushStats() {
       info.id = id;
       info.worker = id_;
       info.count = n;
+      info.epoch = slot.epoch;
       info.box = slot.shard->boundingMds();
       shardInfos.emplace_back(id, std::move(info));
     }
@@ -797,6 +1112,7 @@ void Worker::pushStats() {
 
   // CAS-merge per-shard count/box into the system image (SIII-B: workers
   // update shard statistics periodically for the manager).
+  std::vector<ShardId> fenced;
   for (const auto& [id, info] : shardInfos) {
     for (int attempt = 0; attempt < 4; ++attempt) {
       auto cur = zk_.get(shardPath(id));
@@ -810,6 +1126,13 @@ void Worker::pushStats() {
       }
       ByteReader r(cur->data);
       ShardInfo stored = ShardInfo::deserialize(r);
+      if (stored.epoch > info.epoch) {
+        // The image moved past us: this shard was fenced and re-hosted
+        // while we (a zombie, from the supervisor's viewpoint) kept
+        // serving. Shed the slot; do NOT write stats over the new owner's.
+        fenced.push_back(id);
+        break;
+      }
       // The owning worker's count is authoritative; the box only grows.
       stored.mergeFrom(schema_, info, /*takeLocation=*/false,
                        /*takeCount=*/true);
@@ -819,6 +1142,7 @@ void Worker::pushStats() {
         break;
     }
   }
+  for (ShardId id : fenced) fenceSlot(id);
 }
 
 }  // namespace volap

@@ -11,6 +11,14 @@
 // transfer aborts the migration and rolls the shard back. Each worker also
 // heartbeats a liveness znode so the manager can avoid dead migration
 // targets.
+//
+// Durability & fencing: when wired to a DurableLog, every applied insert is
+// appended to the shard's WAL *before* its ack goes out, and each shard is
+// periodically checkpointed (kTransferShard format) with WAL truncation —
+// so a crashed worker's shards can be restored elsewhere with zero lost
+// acknowledged inserts. Slots carry a fencing epoch: once the recovery
+// supervisor seals the durable store (epoch bump), this worker's appends
+// fail, it stops acking, and it sheds the fenced slot.
 #pragma once
 
 #include <atomic>
@@ -28,6 +36,7 @@
 #include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "common/wal.hpp"
 #include "keeper/keeper.hpp"
 #include "net/fabric.hpp"
 #include "tree/shard.hpp"
@@ -37,6 +46,10 @@ namespace volap {
 struct WorkerConfig {
   unsigned threads = 2;  // shard-operation pool ("k parallel threads")
   std::uint64_t statsIntervalNanos = 500'000'000;  // stats push cadence
+  /// Checkpoint cadence: each interval, every idle shard is serialized into
+  /// the durable store and its WAL truncated. Bounds both recovery-payload
+  /// size and WAL memory. Ignored without a DurableLog.
+  std::uint64_t checkpointIntervalNanos = 1'000'000'000;
   /// Retry budget for worker-to-worker traffic (shard transfers, queued
   /// migration items, forwarded bulk batches).
   RetryPolicy transferRetry{100'000'000, 1'000'000'000, 10'000'000, 1.6, 6};
@@ -45,13 +58,19 @@ struct WorkerConfig {
 class Worker {
  public:
   Worker(Fabric& fabric, const Schema& schema, WorkerId id,
-         WorkerConfig cfg = WorkerConfig());
+         WorkerConfig cfg = WorkerConfig(), DurableLog* durable = nullptr);
   ~Worker();
 
   Worker(const Worker&) = delete;
   Worker& operator=(const Worker&) = delete;
 
   void stop();
+
+  /// Simulate a process crash: every endpoint this worker owns is unbound
+  /// (messages in flight toward it die), the serve loop stops, and all
+  /// in-memory state — shards included — is discarded. Only the DurableLog
+  /// survives, exactly like a disk. Idempotent.
+  void crash();
 
   WorkerId id() const { return id_; }
 
@@ -73,6 +92,16 @@ class Worker {
   }
   std::size_t retryEntries() const;
 
+  // Durability / recovery counters.
+  /// Requests refused because the durable store was sealed under this
+  /// worker (a fenced zombie cannot ack).
+  std::uint64_t fencedOps() const { return fencedOps_.load(); }
+  /// Slots shed after discovering a newer epoch (fenced out).
+  std::uint64_t fencedShards() const { return fencedShards_.load(); }
+  /// Shards restored onto this worker via kRecoverShard.
+  std::uint64_t shardsRecovered() const { return recovered_.load(); }
+  std::uint64_t checkpointsTaken() const { return checkpoints_.load(); }
+
  private:
   /// One shard's slot, including the in-flight split/migration overlay of
   /// SIII-E: while `busy`, new items land in `queue` and queries consult
@@ -83,6 +112,9 @@ class Worker {
     std::shared_ptr<Shard> queue;  // only while busy
     bool busy = false;
     WorkerId movedTo = kNoWorker;
+    /// Fencing epoch this slot is hosted under. WAL appends carry it; the
+    /// recovery supervisor bumps the durable epoch past it on takeover.
+    std::uint64_t epoch = 0;
     /// Mapping-table entry M_j (SIII-E), in split order: each split of
     /// this shard appended (hyperplane, right-child id). Resolution tests
     /// the planes in order; a shard split k times has k entries.
@@ -118,7 +150,19 @@ class Worker {
   void handleMigrateShard(const Message& m);
   void handleTransferShard(const Message& m);
   void handleTransferAck(const Message& m);
+  void handleRecoverShard(const Message& m);
   void pushStats();
+
+  /// Serialize every idle slot into the durable store, truncating its WAL.
+  /// Holds slotsMu_ and drains in-flight inserts per slot so the checkpoint
+  /// covers exactly the records it truncates.
+  void checkpointShards();
+  /// Checkpoint one slot. Caller holds slotsMu_ with the slot's inserts
+  /// drained (or otherwise quiesced). Returns false if fenced.
+  bool checkpointSlotLocked(ShardId id, const Slot& slot);
+  /// Shed a slot this worker has been fenced out of (skips busy slots; the
+  /// split/migration in flight will fail its own appends).
+  void fenceSlot(ShardId id);
 
   /// Redelivery dedup: true if this (sender, corr) is new and the caller
   /// should process it; false if it was replayed from cache or is still
@@ -135,7 +179,7 @@ class Worker {
                      Blob payload, ShardId shard);
   /// Retransmit overdue entries; abort/forget exhausted ones.
   void sweepRetries();
-  std::uint64_t nextWakeNanos(std::uint64_t nextStats);
+  std::uint64_t nextWakeNanos(std::uint64_t nextTimer);
   /// Roll an in-flight migration back (transfer budget exhausted): merge
   /// the insertion queue into the shard and report failure to the manager.
   void abortMigration(ShardId id);
@@ -152,6 +196,7 @@ class Worker {
   const Schema& schema_;
   const WorkerId id_;
   const WorkerConfig cfg_;
+  DurableLog* const durable_;  // nullable: durability off
   std::shared_ptr<Mailbox> inbox_;
   KeeperClient zk_;
   mutable std::mutex slotsMu_;
@@ -174,6 +219,11 @@ class Worker {
   std::atomic<std::uint64_t> retriesSent_{0};
   std::atomic<std::uint64_t> forwardsLost_{0};
   std::atomic<std::uint64_t> migrationsAborted_{0};
+  std::atomic<std::uint64_t> fencedOps_{0};
+  std::atomic<std::uint64_t> fencedShards_{0};
+  std::atomic<std::uint64_t> recovered_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<bool> crashed_{false};
 
   // Declared after every piece of state its tasks touch: the pool drains
   // and joins before slots_/counters are destroyed.

@@ -29,14 +29,25 @@ struct RetryPolicy {
 inline std::uint64_t retryDelayNanos(const RetryPolicy& p, unsigned attempt,
                                      Rng& rng) {
   double d = static_cast<double>(p.timeoutNanos);
-  for (unsigned i = 1; i < attempt; ++i) {
+  // Walk the exponentiation at most 64 steps: beyond that the delay has
+  // saturated (or the policy is pathological) and more iterations only
+  // burn time on an attempt counter an adversarial caller controls.
+  const unsigned steps = attempt > 64 ? 64 : attempt;
+  const double cap = static_cast<double>(p.maxTimeoutNanos);
+  for (unsigned i = 1; i < steps; ++i) {
     d *= p.backoff;
-    if (d >= static_cast<double>(p.maxTimeoutNanos)) break;
+    if (!(d < cap)) break;  // also catches inf/NaN from extreme backoffs
   }
-  auto delay = static_cast<std::uint64_t>(d);
-  if (delay > p.maxTimeoutNanos) delay = p.maxTimeoutNanos;
-  if (p.jitterNanos > 0) delay += rng.below(p.jitterNanos + 1);
-  return delay;
+  // Never cast an out-of-range double (UB): saturate to the cap first.
+  // !(d < cap) instead of d >= cap so NaN also lands on the cap.
+  const std::uint64_t delay =
+      !(d < cap) ? p.maxTimeoutNanos : static_cast<std::uint64_t>(d);
+  if (p.jitterNanos == 0) return delay;
+  const std::uint64_t kMax = ~std::uint64_t{0};
+  const std::uint64_t span =
+      p.jitterNanos == kMax ? kMax : p.jitterNanos + 1;  // no wrap to 0
+  const std::uint64_t j = rng.below(span);
+  return delay > kMax - j ? kMax : delay + j;  // saturating add
 }
 
 /// Bounded (sender, corr) -> stored-ack map with FIFO eviction. A receiver

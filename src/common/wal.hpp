@@ -1,0 +1,201 @@
+// Durability substrate for crash recovery: a per-shard write-ahead log of
+// applied requests plus a checkpoint blob, both fenced by a monotone epoch.
+// This is the in-process stand-in for a disk (or replicated log) that
+// survives a worker process crash: workers append to the log BEFORE acking
+// an insert, periodically fold the log into a checkpoint, and a recovery
+// supervisor fences the store (bumping the epoch so the old owner's appends
+// start failing) before reading the snapshot it restores elsewhere.
+//
+// Records are keyed by (from, corr) — the same identity the dedup caches
+// use — so replaying a log onto a fresh shard can also re-seed the replay
+// cache, making recovery transparent to in-flight retransmissions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace volap {
+
+/// One logged request: enough to re-apply the items AND re-ack the sender
+/// if it retransmits after recovery.
+struct WalRecord {
+  std::string from;            // sender endpoint of the logged request
+  std::uint64_t corr = 0;      // correlation id; (from, corr) is the dedup key
+  std::uint16_t ackOp = 0;     // ack opcode to replay on redelivery
+  Blob ackPayload;             // ack payload to replay (may be re-stamped)
+  Blob items;                  // serialized PointSet the request applied
+
+  void serialize(ByteWriter& w) const {
+    w.str(from);
+    w.varint(corr);
+    w.u16(ackOp);
+    w.bytes(ackPayload);
+    w.bytes(items);
+  }
+  static WalRecord deserialize(ByteReader& r) {
+    WalRecord rec;
+    rec.from = r.str();
+    rec.corr = r.varint();
+    rec.ackOp = r.u16();
+    rec.ackPayload = r.bytes();
+    rec.items = r.bytes();
+    return rec;
+  }
+};
+
+/// The durable view of one shard at the moment it was fenced.
+struct DurableSnapshot {
+  std::uint64_t epoch = 0;  // the NEW epoch; the previous owner is fenced out
+  std::uint32_t owner = 0;  // last owner to checkpoint
+  Blob checkpoint;          // kTransferShard-format blob (may be empty)
+  std::vector<WalRecord> wal;  // records appended since that checkpoint
+};
+
+/// Shared durable store, one entry per shard. Thread-safe: a short global
+/// lock resolves the shard entry, then a per-entry lock serializes the
+/// append/checkpoint/fence race — so hot-path appends on different shards
+/// never contend.
+///
+/// Epoch discipline: append and saveCheckpoint succeed only while the
+/// caller's epoch is current; fence() bumps the epoch and returns the
+/// snapshot, so any append that succeeded is visible in some later fence
+/// snapshot, and any append after a fence fails (the caller must NOT ack).
+/// That ordering is the whole crash-safety argument: ack happens only after
+/// a successful append, so every acked insert is either in the snapshot the
+/// supervisor restores or rejected before its ack.
+class DurableLog {
+ public:
+  /// Append one record under `epoch`. Returns false if the shard has been
+  /// fenced past `epoch` — the caller must drop the request unacked.
+  bool append(std::uint64_t shard, std::uint64_t epoch, WalRecord rec) {
+    Rec* r = entry(shard);
+    std::lock_guard lock(r->mu);
+    if (epoch < r->epoch) return false;
+    r->epoch = epoch;
+    r->wal.push_back(std::move(rec));
+    return true;
+  }
+
+  /// Replace the checkpoint and truncate the log. The caller must have
+  /// quiesced the shard so `blob` covers every record being truncated.
+  /// Returns false if fenced past `epoch`.
+  bool saveCheckpoint(std::uint64_t shard, std::uint64_t epoch,
+                      std::uint32_t owner, Blob blob) {
+    Rec* r = entry(shard);
+    std::lock_guard lock(r->mu);
+    if (epoch < r->epoch) return false;
+    r->epoch = epoch;
+    r->owner = owner;
+    r->checkpoint = std::move(blob);
+    r->wal.clear();
+    return true;
+  }
+
+  /// Erase this request's records from the shard's log. Used when a bulk
+  /// apply spanning several shards fails partway (one target fenced): the
+  /// surviving appends must not double-apply when the sender's retry lands
+  /// on the recovered placement, so the whole attempt is rolled back. Only
+  /// ever called for a request that was NOT acked, so at most one attempt's
+  /// records exist — erasing every (from, corr) match is exact.
+  void rollback(std::uint64_t shard, const std::string& from,
+                std::uint64_t corr) {
+    Rec* r = entry(shard);
+    std::lock_guard lock(r->mu);
+    r->wal.erase(std::remove_if(r->wal.begin(), r->wal.end(),
+                                [&](const WalRecord& rec) {
+                                  return rec.corr == corr && rec.from == from;
+                                }),
+                 r->wal.end());
+  }
+
+  /// Seal the shard against its current owner and return the durable state
+  /// to restore elsewhere. Nullopt if the shard never wrote anything (then
+  /// there is nothing to recover either).
+  std::optional<DurableSnapshot> fence(std::uint64_t shard) {
+    Rec* r;
+    {
+      std::lock_guard lock(mu_);
+      auto it = recs_.find(shard);
+      if (it == recs_.end()) return std::nullopt;
+      r = it->second.get();
+    }
+    std::lock_guard lock(r->mu);
+    DurableSnapshot snap;
+    snap.epoch = ++r->epoch;
+    snap.owner = r->owner;
+    snap.checkpoint = r->checkpoint;
+    snap.wal = r->wal;
+    return snap;
+  }
+
+  /// True if the store has an entry for the shard (it existed under SOME
+  /// owner). Lets a worker distinguish "protocol garbage aimed at a shard
+  /// nobody ever created" (safe to drop-ack) from "a shard I was fenced
+  /// out of" (must stay silent so the sender retries toward the owner).
+  bool knows(std::uint64_t shard) const {
+    std::lock_guard lock(mu_);
+    return recs_.count(shard) != 0;
+  }
+
+  std::uint64_t epochOf(std::uint64_t shard) const {
+    std::lock_guard lock(mu_);
+    auto it = recs_.find(shard);
+    if (it == recs_.end()) return 0;
+    std::lock_guard rlock(it->second->mu);
+    return it->second->epoch;
+  }
+
+  std::size_t walEntries(std::uint64_t shard) const {
+    std::lock_guard lock(mu_);
+    auto it = recs_.find(shard);
+    if (it == recs_.end()) return 0;
+    std::lock_guard rlock(it->second->mu);
+    return it->second->wal.size();
+  }
+
+  bool hasCheckpoint(std::uint64_t shard) const {
+    std::lock_guard lock(mu_);
+    auto it = recs_.find(shard);
+    if (it == recs_.end()) return false;
+    std::lock_guard rlock(it->second->mu);
+    return !it->second->checkpoint.empty();
+  }
+
+  std::vector<std::uint64_t> shardIds() const {
+    std::lock_guard lock(mu_);
+    std::vector<std::uint64_t> out;
+    out.reserve(recs_.size());
+    for (const auto& [id, rec] : recs_) out.push_back(id);
+    return out;
+  }
+
+ private:
+  struct Rec {
+    mutable std::mutex mu;
+    std::uint64_t epoch = 0;
+    std::uint32_t owner = 0;
+    Blob checkpoint;
+    std::vector<WalRecord> wal;
+  };
+
+  Rec* entry(std::uint64_t shard) {
+    std::lock_guard lock(mu_);
+    auto it = recs_.find(shard);
+    if (it == recs_.end())
+      it = recs_.emplace(shard, std::make_unique<Rec>()).first;
+    return it->second.get();
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::unique_ptr<Rec>> recs_;
+};
+
+}  // namespace volap

@@ -50,6 +50,24 @@ void Fabric::unbind(const std::string& name) {
   victim->close();
 }
 
+void Fabric::crash(const std::string& name) {
+  std::vector<std::shared_ptr<Mailbox>> victims;
+  {
+    std::lock_guard lock(mu_);
+    const std::string prefix = name + "/";
+    for (auto it = endpoints_.begin(); it != endpoints_.end();) {
+      const std::string& ep = it->first;
+      if (ep == name || ep.rfind(prefix, 0) == 0) {
+        victims.push_back(it->second);
+        it = endpoints_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& mb : victims) mb->close();
+}
+
 void Fabric::setDropRate(double rate) {
   dropRate_.store(rate, std::memory_order_relaxed);
 }

@@ -91,6 +91,12 @@ class Fabric {
   /// endpoint reusing the name (they target the old mailbox incarnation).
   void unbind(const std::string& name);
 
+  /// Hard-crash a node: unbind `name` and every endpoint under `name + "/"`
+  /// (e.g. "worker/3" also takes out "worker/3/zk", but never "worker/30").
+  /// Mimics a process death as seen from the network — every inbox the node
+  /// owns vanishes at once, mid-conversation.
+  void crash(const std::string& name);
+
   /// Deliver `m` to endpoint `to`. Returns false if the endpoint does not
   /// exist or is closed (the distributed-system analogue of ECONNREFUSED);
   /// messages eaten by the drop model still return true, like UDP.

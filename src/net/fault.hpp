@@ -4,11 +4,19 @@
 // full workload while the network degrades and recovers underneath it.
 // Deterministic given the fabric's seed: the plan only changes *when* the
 // drop probability applies, the coin flips stay on the fabric's RNG.
+//
+// Besides a drop rate, a phase may carry a hard-crash action: on phase
+// entry the plan unbinds every endpoint of the targeted node (a process
+// death seen from the network) and runs an optional hook so the test can
+// also stop the node's threads — the real kill that heartbeat-backdating
+// chaos tests could only fake.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -17,9 +25,20 @@
 
 namespace volap {
 
+enum class FaultAction : std::uint8_t {
+  kNone = 0,
+  /// Hard-crash the node named by `target` at phase entry: its endpoints
+  /// (and everything under `target + "/"`) are unbound mid-conversation,
+  /// then `hook` runs (typically Worker::crash() to stop threads too).
+  kCrash = 1,
+};
+
 struct FaultPhase {
   std::chrono::nanoseconds duration{0};
   double dropRate = 0;
+  FaultAction action = FaultAction::kNone;
+  std::string target;            // endpoint prefix for kCrash
+  std::function<void()> hook;    // runs after the unbind, on the plan thread
 };
 
 class FaultPlan {
@@ -63,6 +82,10 @@ class FaultPlan {
   void run() {
     for (const auto& phase : phases_) {
       fabric_.setDropRate(phase.dropRate);
+      if (phase.action == FaultAction::kCrash) {
+        if (!phase.target.empty()) fabric_.crash(phase.target);
+        if (phase.hook) phase.hook();
+      }
       std::unique_lock lock(mu_);
       if (cv_.wait_for(lock, phase.duration, [this] { return stop_; }))
         return;

@@ -60,6 +60,13 @@ std::unique_ptr<Shard> makeShard(ShardKind kind, const Schema& schema) {
 
 Blob Shard::serializeShard() const {
   ByteWriter w;
+  // Versioned header: magic "VS" + format version. These blobs now live
+  // beyond a single transfer RPC — they are durable checkpoints that a
+  // recovery may read long after they were written — so the format must be
+  // self-identifying and evolvable.
+  w.u8(kShardBlobMagic0);
+  w.u8(kShardBlobMagic1);
+  w.u8(kShardBlobVersion);
   w.u8(static_cast<std::uint8_t>(kind()));
   PointSet items(dims());
   items.reserve(size());
@@ -71,6 +78,11 @@ Blob Shard::serializeShard() const {
 std::unique_ptr<Shard> deserializeShard(const Schema& schema,
                                         std::span<const std::uint8_t> blob) {
   ByteReader r(blob);
+  if (r.u8() != kShardBlobMagic0 || r.u8() != kShardBlobMagic1)
+    throw DeserializeError("bad shard blob magic");
+  const std::uint8_t version = r.u8();
+  if (version == 0 || version > kShardBlobVersion)
+    throw DeserializeError("unsupported shard blob version");
   const auto kind = static_cast<ShardKind>(r.u8());
   if (kind > ShardKind::kHilbertRTree)
     throw DeserializeError("bad shard kind");

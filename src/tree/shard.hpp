@@ -51,6 +51,14 @@ enum class ShardKind : std::uint8_t {
 
 const char* shardKindName(ShardKind k);
 
+/// serializeShard() blob header: magic "VS" + format version. The blobs
+/// double as durable checkpoints (crash recovery reads them back long after
+/// they were written), so they are self-identifying: deserializeShard
+/// rejects a missing magic or a version newer than it understands.
+inline constexpr std::uint8_t kShardBlobMagic0 = 'V';
+inline constexpr std::uint8_t kShardBlobMagic1 = 'S';
+inline constexpr std::uint8_t kShardBlobVersion = 1;
+
 class Shard {
  public:
   virtual ~Shard() = default;

@@ -17,6 +17,7 @@
 
 #include "cluster/client.hpp"
 #include "cluster/manager.hpp"
+#include "common/wal.hpp"
 #include "cluster/server.hpp"
 #include "cluster/types.hpp"
 #include "cluster/worker.hpp"
@@ -38,6 +39,11 @@ struct ClusterOptions {
   FabricOptions net;
   /// Retry budget handed to every client session this cluster creates.
   RetryPolicy clientRetry;
+  /// Wire every worker and the manager to a shared DurableLog (the
+  /// in-process "disk"): inserts are write-ahead logged before their acks,
+  /// shards are checkpointed periodically, and the manager re-hosts a
+  /// crashed worker's shards from the log with epoch fencing.
+  bool durability = true;
 };
 
 class VolapCluster {
@@ -57,6 +63,17 @@ class VolapCluster {
   /// Elastic horizontal scale-up (paper SIII-E / Fig. 6): the new worker
   /// joins empty; the manager migrates shards onto it.
   WorkerId addWorker();
+
+  /// Hard-crash worker `i` (see Worker::crash): its endpoints unbind, its
+  /// threads stop, all in-memory state is lost. With durability on, the
+  /// manager's recovery supervisor re-hosts its shards from the DurableLog
+  /// onto the survivors. The Worker object stays in place (stopped) so
+  /// indices remain stable. Idempotent.
+  void crashWorker(unsigned i) { workers_[i]->crash(); }
+
+  /// The cluster's durable store (the simulated disk shared by workers and
+  /// the recovery supervisor).
+  DurableLog& durable() { return durable_; }
 
   unsigned serverCount() const {
     return static_cast<unsigned>(servers_.size());
@@ -78,6 +95,9 @@ class VolapCluster {
  private:
   const Schema& schema_;
   ClusterOptions opts_;
+  // Declared before the fabric and nodes: workers and the manager hold raw
+  // pointers into it, so it must outlive them all (like a disk would).
+  DurableLog durable_;
   std::unique_ptr<Fabric> fabric_;
   std::unique_ptr<KeeperServer> keeper_;
   std::unique_ptr<KeeperClient> bootZk_;

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/clock.hpp"
 #include "olap/data_gen.hpp"
 #include "olap/query_gen.hpp"
 #include "tree/array_shard.hpp"
@@ -334,6 +335,78 @@ TEST(Cluster, ManyServerThreadsShareTheImageSafely) {
   }));
   for (unsigned w = 0; w < cluster.workerCount(); ++w)
     EXPECT_EQ(cluster.worker(w).itemsDropped(), 0u);
+}
+
+TEST(Cluster, ManagerLeaseExpiryIgnoresLateAndDuplicateDones) {
+  // Hand-built image: worker 1 is heavy but is only a fake mailbox that
+  // swallows commands, worker 3 is an empty live target. The balancer's
+  // migrate op can therefore never complete — its lease must expire, and a
+  // Done that straggles in (or arrives twice) after the write-off must be
+  // ignored rather than double counted or pushed below zero in flight.
+  const Schema schema = Schema::tpcds();
+  Fabric fabric;
+  KeeperServer keeper(fabric);
+  KeeperClient zk(fabric, "setup");
+  zk.create("/volap", {});
+  zk.create(shardsPath(), {});
+  zk.create(workersPath(), {});
+  zk.create(alivesPath(), {});
+  const auto writeWorker = [&](WorkerId id, std::uint64_t items) {
+    WorkerStats s;
+    s.id = id;
+    s.totalItems = items;
+    s.shardCount = 1;
+    ByteWriter w;
+    s.serialize(w);
+    zk.create(workerPath(id), w.take());
+    ByteWriter hb;
+    hb.u64(nowNanos());
+    zk.create(alivePath(id), hb.take());
+  };
+  writeWorker(1, 10'000);
+  writeWorker(3, 0);
+  ShardInfo info;
+  info.id = 7;
+  info.worker = 1;
+  info.count = 1'000;
+  ByteWriter w;
+  info.serialize(w);
+  zk.create(shardPath(7), w.take());
+
+  auto heavyBox = fabric.bind(workerEndpoint(1));
+
+  ManagerConfig cfg;
+  cfg.periodNanos = 30'000'000;
+  cfg.minImbalanceItems = 100;
+  cfg.opLeaseNanos = 200'000'000;  // 200ms lease
+  Manager manager(fabric, schema, cfg, /*firstShardId=*/100);
+
+  auto cmd = heavyBox->recvFor(5000ms);
+  ASSERT_TRUE(cmd.has_value());
+  ASSERT_EQ(cmd->type, static_cast<std::uint16_t>(Op::kMigrateShard));
+  const std::uint64_t corr = cmd->corr;
+  EXPECT_GE(manager.opsInFlight(), 1u);
+
+  // Pause the balancer: only the lease sweep may drain the in-flight op.
+  manager.setEnabled(false);
+  ASSERT_TRUE(eventually([&] { return manager.opsTimedOut() >= 1; }));
+  ASSERT_TRUE(eventually([&] { return manager.opsInFlight() == 0; }));
+  const std::uint64_t timedOut = manager.opsTimedOut();
+
+  // The "worker" reports success twice, after the write-off.
+  MigrateDone done;
+  done.ok = true;
+  done.shard = 7;
+  done.dest = 3;
+  for (int i = 0; i < 2; ++i)
+    fabric.send(managerEndpoint(),
+                makeMessage(Op::kMigrateDone, corr, workerEndpoint(1),
+                            done.encode()));
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(manager.migrationsDone(), 0u);
+  EXPECT_EQ(manager.opsInFlight(), 0u);
+  EXPECT_EQ(manager.opsTimedOut(), timedOut);
+  manager.stop();
 }
 
 }  // namespace

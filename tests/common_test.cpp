@@ -10,7 +10,9 @@
 
 #include "common/histogram.hpp"
 #include "common/mpmc_queue.hpp"
+#include "common/retry.hpp"
 #include "common/rng.hpp"
+#include "common/wal.hpp"
 #include "common/rwspin.hpp"
 #include "common/serialize.hpp"
 #include "common/thread_pool.hpp"
@@ -259,6 +261,138 @@ TEST(ThreadPool, SubmittedTasksRun) {
   std::unique_lock lock(mu);
   cv.wait_for(lock, std::chrono::seconds(10), [&] { return ran == 32; });
   EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(Retry, DelaySaturatesAtMaxTimeout) {
+  RetryPolicy p{100, 1000, 0, 2.0, 50};
+  Rng rng(1);
+  EXPECT_EQ(retryDelayNanos(p, 1, rng), 100u);
+  EXPECT_EQ(retryDelayNanos(p, 2, rng), 200u);
+  EXPECT_EQ(retryDelayNanos(p, 3, rng), 400u);
+  // Past the cap every further attempt pins to maxTimeoutNanos — including
+  // attempt counts far beyond any sane policy.
+  for (const unsigned a : {5u, 10u, 1000u, ~0u})
+    EXPECT_EQ(retryDelayNanos(p, a, rng), 1000u) << "attempt " << a;
+}
+
+TEST(Retry, JitterStaysWithinItsBound) {
+  RetryPolicy p{100, 1000, 50, 2.0, 8};
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t d = retryDelayNanos(p, 2, rng);
+    EXPECT_GE(d, 200u);
+    EXPECT_LE(d, 250u);
+  }
+}
+
+TEST(Retry, ExtremePoliciesNeverOverflowToATinyDelay) {
+  Rng rng(2);
+  const std::uint64_t kMax = ~std::uint64_t{0};
+  // Everything maxed out: the delay must saturate, not wrap around to a
+  // near-zero value that would turn backoff into a hot retry loop.
+  RetryPolicy allMax{kMax, kMax, kMax, 1e308, ~0u};
+  for (const unsigned a : {1u, 2u, 64u, ~0u})
+    EXPECT_GE(retryDelayNanos(allMax, a, rng), allMax.timeoutNanos);
+  // A single backoff step that shoots past the cap (even to inf) must land
+  // exactly on the cap instead of feeding an out-of-range double into an
+  // integer cast.
+  RetryPolicy spiky{1, kMax, 0, 1e308, 8};
+  EXPECT_EQ(retryDelayNanos(spiky, 8, rng), kMax);
+  // Degenerate backoff < 1 never escapes the first-attempt timeout.
+  RetryPolicy shrinking{500, 1000, 0, 0.5, 8};
+  EXPECT_LE(retryDelayNanos(shrinking, ~0u, rng), 500u);
+}
+
+namespace {
+WalRecord rec(const std::string& from, std::uint64_t corr) {
+  WalRecord r;
+  r.from = from;
+  r.corr = corr;
+  r.ackOp = 0x230;
+  return r;
+}
+}  // namespace
+
+TEST(DurableLog, AppendIsFencedByEpoch) {
+  DurableLog log;
+  EXPECT_FALSE(log.knows(7));
+  EXPECT_EQ(log.epochOf(7), 0u);
+  EXPECT_TRUE(log.append(7, 0, rec("s", 1)));
+  EXPECT_TRUE(log.append(7, 0, rec("s", 2)));
+  EXPECT_TRUE(log.knows(7));
+  EXPECT_EQ(log.walEntries(7), 2u);
+
+  const auto snap = log.fence(7);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->epoch, 1u);
+  EXPECT_EQ(snap->wal.size(), 2u);
+  EXPECT_EQ(log.epochOf(7), 1u);
+
+  // The fenced-out owner's appends fail; the new epoch's appends succeed.
+  EXPECT_FALSE(log.append(7, 0, rec("s", 3)));
+  EXPECT_EQ(log.walEntries(7), 2u);
+  EXPECT_TRUE(log.append(7, 1, rec("s", 3)));
+  EXPECT_EQ(log.walEntries(7), 3u);
+}
+
+TEST(DurableLog, FenceOfUnknownShardIsEmpty) {
+  DurableLog log;
+  EXPECT_FALSE(log.fence(42).has_value());
+  EXPECT_FALSE(log.knows(42));  // fence() probes must not create entries
+}
+
+TEST(DurableLog, CheckpointTruncatesWalAndRespectsFencing) {
+  DurableLog log;
+  EXPECT_TRUE(log.append(7, 0, rec("s", 1)));
+  EXPECT_TRUE(log.saveCheckpoint(7, 0, /*owner=*/3, Blob{1, 2, 3}));
+  EXPECT_EQ(log.walEntries(7), 0u);
+  EXPECT_TRUE(log.hasCheckpoint(7));
+
+  EXPECT_TRUE(log.append(7, 0, rec("s", 2)));
+  const auto snap = log.fence(7);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->owner, 3u);
+  EXPECT_EQ(snap->checkpoint.size(), 3u);
+  ASSERT_EQ(snap->wal.size(), 1u);
+  EXPECT_EQ(snap->wal[0].corr, 2u);
+
+  // A checkpoint from the fenced-out owner must not clobber the snapshot.
+  EXPECT_FALSE(log.saveCheckpoint(7, 0, 3, Blob{9}));
+  EXPECT_EQ(log.fence(7)->checkpoint.size(), 3u);
+}
+
+TEST(DurableLog, RollbackErasesExactlyOneAttempt) {
+  DurableLog log;
+  EXPECT_TRUE(log.append(7, 0, rec("a", 1)));
+  EXPECT_TRUE(log.append(7, 0, rec("a", 2)));
+  EXPECT_TRUE(log.append(7, 0, rec("b", 1)));
+  log.rollback(7, "a", 1);
+  const auto snap = log.fence(7);
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_EQ(snap->wal.size(), 2u);
+  EXPECT_EQ(snap->wal[0].from, "a");
+  EXPECT_EQ(snap->wal[0].corr, 2u);
+  EXPECT_EQ(snap->wal[1].from, "b");
+  EXPECT_EQ(snap->wal[1].corr, 1u);
+}
+
+TEST(DurableLog, WalRecordRoundTrips) {
+  WalRecord r;
+  r.from = "server/1";
+  r.corr = 77;
+  r.ackOp = 0x230;
+  r.ackPayload = {1, 2};
+  r.items = {3, 4, 5};
+  ByteWriter w;
+  r.serialize(w);
+  const Blob b = w.take();
+  ByteReader rd(b);
+  const WalRecord back = WalRecord::deserialize(rd);
+  EXPECT_EQ(back.from, r.from);
+  EXPECT_EQ(back.corr, r.corr);
+  EXPECT_EQ(back.ackOp, r.ackOp);
+  EXPECT_EQ(back.ackPayload, r.ackPayload);
+  EXPECT_EQ(back.items, r.items);
 }
 
 }  // namespace

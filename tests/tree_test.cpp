@@ -307,6 +307,36 @@ TEST(ShardTree, DeserializeRejectsGarbage) {
   EXPECT_THROW(deserializeShard(schema, empty), DeserializeError);
 }
 
+TEST(ShardTree, SerializedBlobCarriesVersionedHeader) {
+  // The blobs double as durable checkpoints read back long after they were
+  // written, so the header must be self-identifying and evolvable.
+  const Schema schema = Schema::tpcds();
+  DataGenerator gen(schema, 703);
+  auto shard = makeShard(ShardKind::kHilbertPdcMds, schema);
+  for (int i = 0; i < 100; ++i) shard->insert(gen.next());
+  const Blob blob = shard->serializeShard();
+  ASSERT_GE(blob.size(), 4u);
+  EXPECT_EQ(blob[0], kShardBlobMagic0);
+  EXPECT_EQ(blob[1], kShardBlobMagic1);
+  EXPECT_EQ(blob[2], kShardBlobVersion);
+  EXPECT_NO_THROW(deserializeShard(schema, blob));
+
+  // Corrupt magic: either byte.
+  for (const std::size_t at : {std::size_t{0}, std::size_t{1}}) {
+    Blob bad = blob;
+    bad[at] ^= 0xff;
+    EXPECT_THROW(deserializeShard(schema, bad), DeserializeError);
+  }
+  // Version 0 is never produced; versions newer than this build are from a
+  // future writer and must be refused instead of misparsed.
+  for (const std::uint8_t v : {std::uint8_t{0},
+                               std::uint8_t(kShardBlobVersion + 1)}) {
+    Blob bad = blob;
+    bad[2] = v;
+    EXPECT_THROW(deserializeShard(schema, bad), DeserializeError);
+  }
+}
+
 TEST(ShardTree, SplitOnDegenerateDataKeepsEverything) {
   // All items identical: SplitQuery cannot separate them; Split must not
   // lose items regardless.
