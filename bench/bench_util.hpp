@@ -10,10 +10,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -68,12 +70,42 @@ inline std::string sparkline(const std::vector<double>& values) {
   return out;
 }
 
+/// Build flavor baked into every BENCH_*.json: a "release" number and a
+/// "debug" number are not comparable, so the file says which it is.
+inline const char* buildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Short git sha of the benchmarked tree, for provenance. $VOLAP_GIT_SHA
+/// overrides (CI sets it); otherwise ask git, tolerating non-repo dirs.
+inline std::string gitSha() {
+  std::string sha;
+  if (const char* env = std::getenv("VOLAP_GIT_SHA")) {
+    sha = env;
+  } else if (std::FILE* p =
+                 ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p) != nullptr) sha = buf;
+    ::pclose(p);
+  }
+  std::string clean;
+  for (char c : sha)
+    if (std::isalnum(static_cast<unsigned char>(c))) clean.push_back(c);
+  return clean.empty() ? "unknown" : clean.substr(0, 40);
+}
+
 /// Machine-readable bench output: collect flat scalar metrics, then write
 /// `BENCH_<name>.json` (into $VOLAP_BENCH_DIR, default the current
 /// directory) so every run leaves a perf-trajectory point that later PRs —
 /// and the CI release leg — can parse and compare. Keys are free-form, but
 /// throughput goes in `ops_per_sec` and latency in `*_p50_ms` / `*_p99_ms`
-/// so the trajectory stays comparable across PRs.
+/// so the trajectory stays comparable across PRs. Alongside the metrics the
+/// file records the run conditions (scale, hardware threads, build type,
+/// git sha) so trajectory points are only compared like-for-like.
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
@@ -100,8 +132,13 @@ class BenchJson {
       std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %.6g,\n"
-                    "  \"metrics\": {\n", name_.c_str(), scaleFactor());
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"scale\": %.6g,\n"
+                 "  \"threads\": %u,\n  \"build\": \"%s\",\n"
+                 "  \"git_sha\": \"%s\",\n  \"metrics\": {\n",
+                 name_.c_str(), scaleFactor(),
+                 std::thread::hardware_concurrency(), buildType(),
+                 gitSha().c_str());
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       const double v = std::isfinite(metrics_[i].second)
                            ? metrics_[i].second : 0.0;  // JSON has no inf/nan

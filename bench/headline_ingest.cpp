@@ -6,7 +6,20 @@
 // Measures (1) raw Hilbert PDC tree bulk load vs point insert on one
 // shard, (2) end-to-end cluster bulk ingestion, and (3) a mixed 70/30
 // insert/query stream — the three headline paths.
+//
+// Set VOLAP_BENCH_ENFORCE=1 (CI release leg) to fail the run when the
+// mixed-stream insert rate falls below the floor: 2x the seed's 4.1k/s at
+// scale 0.25 — the server-side coalescing + group-commit pipeline should
+// clear that with a wide margin. VOLAP_INGEST_FLOOR overrides the floor.
+//
+// Diagnostics: VOLAP_COALESCE=0 A/Bs the coalescing pipeline against the
+// per-item path, VOLAP_MIX overrides the insert percentage of the mixed
+// stream (100 = inserts only, 0 = queries only — isolates which side of
+// the 70/30 coupling gates throughput), and VOLAP_BENCH_DEBUG=1 prints
+// client-observed latencies plus per-server routing/coalescing counters.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench/bench_util.hpp"
 #include "olap/data_gen.hpp"
@@ -53,6 +66,8 @@ int main() {
   opts.servers = 2;
   opts.workers = 4;
   opts.manager.maxShardItems = n;  // keep the run split-free
+  if (const char* env = std::getenv("VOLAP_COALESCE"))
+    opts.server.coalesce = std::strcmp(env, "0") != 0;
   VolapCluster cluster(schema, opts);
   auto client = cluster.makeClient("ingest", 0, 256);
   {
@@ -86,10 +101,12 @@ int main() {
     // One process serves both roles here; size the stream so the run stays
     // in seconds while the rates remain stable.
     const std::size_t ops = scaled(2'500);
+    unsigned mix = 70;
+    if (const char* env = std::getenv("VOLAP_MIX")) mix = std::atoi(env);
     std::size_t ins = 0, qry = 0;
     const double sec = timeIt([&] {
       for (std::size_t i = 0; i < ops; ++i) {
-        if (rng.below(100) < 70) {
+        if (rng.below(100) < mix) {
           client->insertAsync(mixGen.next());
           ++ins;
         } else {
@@ -99,13 +116,53 @@ int main() {
       }
       client->drain();
     });
-    std::printf("%-28s %12.1f kinserts/s + %.1f kqueries/s\n",
-                "mixed stream (70/30)",
+    char label[32];
+    std::snprintf(label, sizeof label, "mixed stream (%u/%u)", mix,
+                  100 - mix);
+    std::printf("%-28s %12.1f kinserts/s + %.1f kqueries/s\n", label,
                 static_cast<double>(ins) / sec / 1e3,
                 static_cast<double>(qry) / sec / 1e3);
     json.metric("mixed_inserts_per_sec", static_cast<double>(ins) / sec);
     json.metric("mixed_queries_per_sec", static_cast<double>(qry) / sec);
+    if (std::getenv("VOLAP_BENCH_DEBUG") != nullptr) {
+      std::printf("insert lat p50=%.3fms p99=%.3fms  query lat p50=%.3fms "
+                  "p99=%.3fms\n",
+                  client->insertLatency().quantileNanos(0.50) / 1e6,
+                  client->insertLatency().quantileNanos(0.99) / 1e6,
+                  client->queryLatency().quantileNanos(0.50) / 1e6,
+                  client->queryLatency().quantileNanos(0.99) / 1e6);
+      for (unsigned s = 0; s < cluster.serverCount(); ++s) {
+        const Server::Stats st = cluster.server(s).stats();
+        std::printf(
+            "server %u: snapHit=%llu snapMiss=%llu coalBatches=%llu "
+            "coalItems=%llu size=%llu deadline=%llu eager=%llu throttled=%llu\n",
+            s, (unsigned long long)st.snapshotHits,
+            (unsigned long long)st.snapshotMisses,
+            (unsigned long long)st.coalescedBatches,
+            (unsigned long long)st.coalescedItems,
+            (unsigned long long)st.coalesceSizeFlushes,
+            (unsigned long long)st.coalesceDeadlineFlushes,
+            (unsigned long long)st.coalesceEagerFlushes,
+            (unsigned long long)st.lanesThrottled);
+      }
+    }
+
+    json.write();
+    const char* enforce = std::getenv("VOLAP_BENCH_ENFORCE");
+    if (enforce != nullptr && std::strcmp(enforce, "0") != 0) {
+      double floor = 8300.0;  // 2x the seed's 4139/s mixed insert rate
+      if (const char* env = std::getenv("VOLAP_INGEST_FLOOR")) {
+        const double v = std::atof(env);
+        if (v > 0) floor = v;
+      }
+      const double rate = static_cast<double>(ins) / sec;
+      if (rate < floor) {
+        std::fprintf(stderr,
+                     "FAIL: mixed insert rate %.0f/s below the %.0f/s floor\n",
+                     rate, floor);
+        return 1;
+      }
+    }
   }
-  json.write();
   return 0;
 }

@@ -20,11 +20,11 @@ std::uint64_t Client::submit(Op op, Blob payload) {
   // Timestamp BEFORE the send: on a loaded box the scheduler can run the
   // whole server/worker round trip before send() returns.
   const std::uint64_t t0 = nowNanos();
-  if (!fabric_.send(serverEp_,
-                    makeMessage(op, corr, inbox_->name(), Blob(payload))))
+  const SharedBlob shared(std::move(payload));
+  if (!fabric_.send(serverEp_, makeMessage(op, corr, inbox_->name(), shared)))
     return 0;  // endpoint gone; the caller's send counts as failed
-  Outstanding o{op, t0, std::move(payload), 1,
-                t0 + retryDelayNanos(retry_, 1, rng_)};
+  Outstanding o{op, t0, shared, 1, t0 + retryDelayNanos(retry_, 1, rng_)};
+  nextDueNanos_ = std::min(nextDueNanos_, o.dueNanos);
   outstanding_.emplace(corr, std::move(o));
   return corr;
 }
@@ -79,9 +79,8 @@ void Client::drain() { pump(0, 0, nullptr); }
 bool Client::pump(std::size_t target, std::uint64_t waitCorr, Message* out) {
   while (outstanding_.size() > target ||
          (waitCorr != 0 && outstanding_.count(waitCorr) != 0)) {
-    std::uint64_t nextDue = ~std::uint64_t{0};
-    for (const auto& [corr, o] : outstanding_)
-      nextDue = std::min(nextDue, o.dueNanos);
+    const std::uint64_t nextDue =
+        outstanding_.empty() ? ~std::uint64_t{0} : nextDueNanos_;
     const std::uint64_t now = nowNanos();
     std::optional<Message> m;
     if (nextDue > now)
@@ -112,19 +111,22 @@ bool Client::pump(std::size_t target, std::uint64_t waitCorr, Message* out) {
 bool Client::sweep(std::uint64_t waitCorr) {
   const std::uint64_t now = nowNanos();
   bool waitAlive = true;
+  std::uint64_t minDue = ~std::uint64_t{0};
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {
     Outstanding& o = it->second;
     if (o.dueNanos > now) {
+      minDue = std::min(minDue, o.dueNanos);
       ++it;
       continue;
     }
     if (o.attempts < retry_.maxAttempts) {
       // Same corr on purpose: the server dedups in-flight requests and
       // replays completed replies, so redelivery is exactly-once.
-      fabric_.send(serverEp_, makeMessage(o.op, it->first, inbox_->name(),
-                                          Blob(o.payload)));
+      fabric_.send(serverEp_,
+                   makeMessage(o.op, it->first, inbox_->name(), o.payload));
       ++o.attempts;
       o.dueNanos = now + retryDelayNanos(retry_, o.attempts, rng_);
+      minDue = std::min(minDue, o.dueNanos);
       ++retries_;
       ++it;
       continue;
@@ -137,6 +139,7 @@ bool Client::sweep(std::uint64_t waitCorr) {
     if (it->first == waitCorr) waitAlive = false;
     it = outstanding_.erase(it);
   }
+  nextDueNanos_ = minDue;
   return waitAlive;
 }
 

@@ -83,7 +83,9 @@ class Client {
   struct Outstanding {
     Op op;
     std::uint64_t startedNanos;
-    Blob payload;  // kept for retransmission
+    /// Shared with the in-flight message and every retransmission: one
+    /// immutable allocation instead of a copy per send.
+    SharedBlob payload;
     unsigned attempts = 1;
     std::uint64_t dueNanos = 0;
   };
@@ -106,6 +108,11 @@ class Client {
   Rng rng_;
   std::uint64_t nextCorr_ = 1;
   std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  /// Earliest retry deadline across outstanding_ — min-updated on submit,
+  /// recomputed by sweep(). May go stale-low when the earliest entry
+  /// completes; that only costs pump() a tryRecv pass before the next
+  /// sweep() refreshes it, so pump never oversleeps a retransmission.
+  std::uint64_t nextDueNanos_ = ~std::uint64_t{0};
 
   LatencyHistogram insertLat_;
   LatencyHistogram queryLat_;

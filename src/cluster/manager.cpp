@@ -191,6 +191,7 @@ void Manager::superviseRecovery() {
     req.epoch = snap->epoch;
     req.checkpoint = std::move(snap->checkpoint);
     req.wal = std::move(snap->wal);
+    req.applied = std::move(snap->applied);
     const WorkerId target = targets[rr++ % targets.size()];
     const std::uint64_t corr = nextCorr_++;
     pendingOps_[corr] = {PendingOp::Kind::kRecover,

@@ -363,6 +363,11 @@ struct RecoverShard {
   std::uint64_t epoch = 0;  // install under this epoch; zombie is below it
   Blob checkpoint;
   std::vector<WalRecord> wal;
+  /// Dedup identities of requests older checkpoints already folded in
+  /// (items empty — data-wise they are covered by `checkpoint`). The new
+  /// owner seeds its replay cache from these so a retransmission of a
+  /// pre-checkpoint request is re-acked, never re-applied.
+  std::vector<WalRecord> applied;
 
   Blob encode() const {
     ByteWriter w;
@@ -371,6 +376,8 @@ struct RecoverShard {
     w.bytes(checkpoint);
     w.varint(wal.size());
     for (const auto& rec : wal) rec.serialize(w);
+    w.varint(applied.size());
+    for (const auto& rec : applied) rec.serialize(w);
     return w.take();
   }
   static RecoverShard decode(const Blob& b) {
@@ -383,6 +390,10 @@ struct RecoverShard {
     m.wal.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i)
       m.wal.push_back(WalRecord::deserialize(r));
+    const auto na = r.varint();
+    m.applied.reserve(na);
+    for (std::uint64_t i = 0; i < na; ++i)
+      m.applied.push_back(WalRecord::deserialize(r));
     return m;
   }
 };
@@ -427,8 +438,33 @@ struct ShardBatch {
   }
 };
 
+/// kWBulkAck payload: items applied plus a backpressure hint — the depth of
+/// the worker's inbox when the ack was built. Servers use the hint to
+/// throttle coalesced-batch flushes toward an overloaded worker. The hint
+/// is appended after the original `varint(applied)` field, so decode()
+/// accepts old one-field payloads (hint 0) and old readers that stop after
+/// the first varint keep working.
+struct WBulkAck {
+  std::uint64_t applied = 0;
+  std::uint64_t backlog = 0;
+
+  Blob encode() const {
+    ByteWriter w;
+    w.varint(applied);
+    w.varint(backlog);
+    return w.take();
+  }
+  static WBulkAck decode(const Blob& b) {
+    ByteReader r(b);
+    WBulkAck m;
+    m.applied = r.varint();
+    if (r.remaining() > 0) m.backlog = r.varint();
+    return m;
+  }
+};
+
 inline Message makeMessage(Op op, std::uint64_t corr, std::string from,
-                           Blob payload) {
+                           SharedBlob payload) {
   Message m;
   m.type = static_cast<std::uint16_t>(op);
   m.corr = corr;

@@ -42,12 +42,25 @@ Server::Stats Server::stats() const {
   s.repliesReplayed = repliesReplayed_.load();
   s.dupRequests = dupRequests_.load();
   s.staleEpochAcks = staleEpochAcks_.load();
+  s.snapshotHits = snapshotHits_.load();
+  s.snapshotMisses = snapshotMisses_.load();
+  s.coalescedBatches = coalescedBatches_.load();
+  s.coalescedItems = coalescedItems_.load();
+  s.coalesceSizeFlushes = coalesceSizeFlushes_.load();
+  s.coalesceDeadlineFlushes = coalesceDeadlineFlushes_.load();
+  s.coalesceEagerFlushes = coalesceEagerFlushes_.load();
+  s.lanesThrottled = lanesThrottled_.load();
   {
     std::lock_guard lock(pendingMu_);
     s.pendingInserts = pendingInserts_.size();
     s.pendingQueries = pendingQueries_.size();
     s.pendingBulks = pendingBulks_.size();
     s.retryEntries = retries_.size();
+    s.pendingCoalesced = pendingCoalesced_.size();
+  }
+  {
+    std::lock_guard lock(coalesceMu_);
+    for (const auto& [shard, lane] : lanes_) s.coalesceBuffered += lane.buf.size();
   }
   return s;
 }
@@ -64,8 +77,14 @@ void Server::serve() {
       refreshShardList();
       nextSync = now + cfg_.syncIntervalNanos;
     }
-    sweepRetries();
-    const std::uint64_t wake = nextWakeNanos(nextSync);
+    // Retry sweep only when the earliest registered deadline has arrived —
+    // the common case (nothing due) costs one atomic load instead of a
+    // full retries_ scan under pendingMu_ per message.
+    if (now >= nextRetryDueNanos_.load(std::memory_order_relaxed))
+      sweepRetries();
+    std::uint64_t wake =
+        std::min(nextSync, nextRetryDueNanos_.load(std::memory_order_relaxed));
+    if (cfg_.coalesce) wake = flushExpired(nowNanos(), wake);
     now = nowNanos();
     auto m = inbox_->recvFor(
         std::chrono::nanoseconds(wake > now ? wake - now : 1));
@@ -73,22 +92,23 @@ void Server::serve() {
       if (inbox_->closed()) return;
       continue;
     }
-    // Keeper synchronization stays on this thread (it owns zk_); data-path
-    // requests fan out to the request pool, all sharing the image.
+    // Keeper synchronization stays on this thread (it owns zk_); light
+    // data-path ops (routing an insert, scattering a query, bookkeeping an
+    // ack) run inline on the event loop — a pool handoff costs more than
+    // the handler itself and serializes on the same locks anyway. Only
+    // kBulk goes to the pool: routing a multi-thousand-item chunk would
+    // stall the loop past the coalesce/retry deadlines.
     if (m->type == static_cast<std::uint16_t>(KeeperOp::kWatchEvent)) {
       handleWatchEvent(*m);
       continue;
     }
-    auto msg = std::make_shared<Message>(std::move(*m));
-    pool_.submit([this, msg] { dispatch(*msg); });
+    if (static_cast<Op>(m->type) == Op::kBulk) {
+      auto msg = std::make_shared<Message>(std::move(*m));
+      pool_.submit([this, msg] { dispatch(*msg); });
+      continue;
+    }
+    dispatch(*m);
   }
-}
-
-std::uint64_t Server::nextWakeNanos(std::uint64_t nextSync) {
-  std::uint64_t wake = nextSync;
-  std::lock_guard lock(pendingMu_);
-  for (const auto& [corr, rt] : retries_) wake = std::min(wake, rt.dueNanos);
-  return wake;
 }
 
 void Server::dispatch(const Message& m) {
@@ -135,10 +155,47 @@ void Server::refreshShard(ShardId id) {
     imageLock_.lock();
     image_.applyRemote(info);
     knownShards_.store(image_.shardCount(), std::memory_order_relaxed);
+    rebuildSnapshotLocked();
     imageLock_.unlock();
   } catch (const DeserializeError&) {
     // Corrupt znode: ignore; the next write will repair it.
   }
+}
+
+// ---- lock-light insert routing ----------------------------------------------
+
+void Server::rebuildSnapshotLocked() {
+  auto snap = std::make_shared<RouteSnapshot>();
+  const std::vector<ShardId> ids = image_.allShards();
+  snap->leaves.reserve(ids.size());
+  for (ShardId id : ids) {
+    RouteSnapshot::Leaf leaf;
+    leaf.box = image_.boxOf(id);
+    leaf.volume = leaf.box.volume(schema_);
+    leaf.shard = id;
+    leaf.worker = image_.workerOf(id);
+    snap->leaves.push_back(std::move(leaf));
+  }
+  std::lock_guard lock(snapMu_);
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const Server::RouteSnapshot> Server::currentSnapshot() const {
+  std::lock_guard lock(snapMu_);
+  return snapshot_;
+}
+
+const Server::RouteSnapshot::Leaf* Server::snapshotRoute(
+    const RouteSnapshot& snap, PointRef p) {
+  // Smallest-volume containing leaf — the same preference routeInsert has
+  // for contained points. A point no leaf contains would grow a box, which
+  // only the exclusive image path may do: report a miss.
+  const RouteSnapshot::Leaf* best = nullptr;
+  for (const auto& leaf : snap.leaves) {
+    if (!leaf.box.contains(p)) continue;
+    if (best == nullptr || leaf.volume < best->volume) best = &leaf;
+  }
+  return best;
 }
 
 void Server::handleWatchEvent(const Message& m) {
@@ -202,17 +259,20 @@ void Server::sweepRetries() {
     std::string dest;
     Op op;
     std::uint64_t corr;
-    Blob payload;
+    SharedBlob payload;
   };
   std::vector<Resend> resend;
   std::vector<std::shared_ptr<PendingQuery>> doneQueries;
   std::vector<std::shared_ptr<PendingBulk>> doneBulks;
+  std::vector<ShardId> releasedLanes;  // parked batches free their window
   const std::uint64_t now = nowNanos();
   {
     std::lock_guard lock(pendingMu_);
+    std::uint64_t minDue = ~std::uint64_t{0};
     for (auto it = retries_.begin(); it != retries_.end();) {
       WireRetry& rt = it->second;
       if (rt.dueNanos > now) {
+        minDue = std::min(minDue, rt.dueNanos);
         ++it;
         continue;
       }
@@ -220,7 +280,8 @@ void Server::sweepRetries() {
         ++rt.attempts;
         rt.dueNanos =
             now + retryDelayNanos(cfg_.workerRetry, rt.attempts, rng_);
-        if (rt.op == Op::kWInsert && rt.shard != 0) {
+        if ((rt.op == Op::kWInsert || rt.op == Op::kWBulk) &&
+            rt.shard != 0) {
           // Follow the shard, not the worker: if the image re-homed the
           // shard since the first send (migration or crash recovery), the
           // retransmission — same corr, same payload — goes to the new
@@ -233,6 +294,7 @@ void Server::sweepRetries() {
         }
         resend.push_back({rt.dest, rt.op, it->first, rt.payload});
         workerRetries_.fetch_add(1, std::memory_order_relaxed);
+        minDue = std::min(minDue, rt.dueNanos);
         ++it;
         continue;
       }
@@ -275,6 +337,43 @@ void Server::sweepRetries() {
           break;
         }
         case Op::kWBulk: {
+          auto cit = pendingCoalesced_.find(corr);
+          if (cit != pendingCoalesced_.end()) {
+            // A coalesced batch: park the WHOLE batch (same corr, same
+            // payload) keyed by every member's client identity, so any
+            // member's retransmission resumes this exact wire request —
+            // the worker's dedup must recognize an attempt that landed
+            // with only its ack lost. Bounded FIFO, like droppedInserts_.
+            PendingCoalesced pc = std::move(cit->second);
+            pendingCoalesced_.erase(cit);
+            auto [dit, fresh] = droppedBatches_.try_emplace(corr);
+            dit->second = DroppedBatch{rt.dest, std::move(rt.payload),
+                                       rt.shard, std::move(pc.members),
+                                       pc.items};
+            for (const auto& pi : dit->second.members) {
+              const std::string key = clientKey(pi.clientEp, pi.clientCorr);
+              inFlightClient_.erase(key);
+              droppedBatchIndex_[key] = corr;
+            }
+            if (fresh) {
+              droppedBatchOrder_.push_back(corr);
+              while (droppedBatchOrder_.size() > 1024) {
+                const std::uint64_t old = droppedBatchOrder_.front();
+                droppedBatchOrder_.pop_front();
+                auto oit = droppedBatches_.find(old);
+                if (oit != droppedBatches_.end()) {
+                  for (const auto& pi : oit->second.members)
+                    droppedBatchIndex_.erase(
+                        clientKey(pi.clientEp, pi.clientCorr));
+                  droppedBatches_.erase(oit);
+                }
+              }
+            }
+            insertsDropped_.fetch_add(dit->second.members.size(),
+                                      std::memory_order_relaxed);
+            releasedLanes.push_back(rt.shard);
+            break;
+          }
           auto bit = pendingBulks_.find(corr);
           if (bit != pendingBulks_.end()) {
             auto b = bit->second;
@@ -287,6 +386,15 @@ void Server::sweepRetries() {
           break;
       }
       it = retries_.erase(it);
+    }
+    nextRetryDueNanos_.store(minDue, std::memory_order_relaxed);
+  }
+  if (!releasedLanes.empty()) {
+    std::lock_guard lock(coalesceMu_);
+    for (ShardId s : releasedLanes) {
+      auto it = lanes_.find(s);
+      if (it != lanes_.end() && it->second.inFlight > 0)
+        --it->second.inFlight;
     }
   }
   for (auto& r : resend)
@@ -301,7 +409,7 @@ void Server::sweepRetries() {
 bool Server::resumeDroppedInsert(const Message& m) {
   std::string dest;
   std::uint64_t corr = 0;
-  Blob payload;
+  SharedBlob payload;
   {
     std::lock_guard lock(pendingMu_);
     auto it = droppedInserts_.find(clientKey(m.from, m.corr));
@@ -320,49 +428,225 @@ bool Server::resumeDroppedInsert(const Message& m) {
       if (w != kNoWorker) dest = workerEndpoint(w);
     }
     pendingInserts_[corr] = {m.from, m.corr};
-    retries_.emplace(
-        corr, WireRetry{dest, Op::kWInsert, payload, 1,
-                        nowNanos() + retryDelayNanos(cfg_.workerRetry, 1,
-                                                     rng_),
-                        0, shard});
+    const std::uint64_t due =
+        nowNanos() + retryDelayNanos(cfg_.workerRetry, 1, rng_);
+    retries_.emplace(corr,
+                     WireRetry{dest, Op::kWInsert, payload, 1, due, 0, shard});
+    noteRetryDue(due);
   }
   fabric_.send(dest, makeMessage(Op::kWInsert, corr, serverEndpoint(id_),
                                  std::move(payload)));
   return true;
 }
 
+bool Server::resumeDroppedBatch(const Message& m) {
+  std::string dest;
+  std::uint64_t corr = 0;
+  SharedBlob payload;
+  ShardId laneShard = 0;
+  {
+    std::lock_guard lock(pendingMu_);
+    auto it = droppedBatchIndex_.find(clientKey(m.from, m.corr));
+    if (it == droppedBatchIndex_.end()) return false;
+    corr = it->second;
+    auto bit = droppedBatches_.find(corr);
+    if (bit == droppedBatches_.end()) {
+      droppedBatchIndex_.erase(it);  // stale index entry (batch evicted)
+      return false;
+    }
+    DroppedBatch db = std::move(bit->second);
+    droppedBatches_.erase(bit);
+    // Every member goes back in flight: their own retransmissions must be
+    // dropped as duplicates, and they are all acked by the one kWBulkAck.
+    for (const auto& pi : db.members) {
+      droppedBatchIndex_.erase(clientKey(pi.clientEp, pi.clientCorr));
+      inFlightClient_.insert(clientKey(pi.clientEp, pi.clientCorr));
+    }
+    dest = std::move(db.dest);
+    payload = db.payload;
+    laneShard = db.shard;
+    if (laneShard != 0) {
+      // The original owner may be dead by now; re-resolve. Same corr and
+      // payload, so the (possibly new) owner's dedup still applies.
+      imageLock_.lock_shared();
+      const WorkerId w = image_.workerOf(laneShard);
+      imageLock_.unlock_shared();
+      if (w != kNoWorker) dest = workerEndpoint(w);
+    }
+    const std::size_t items = db.items;
+    pendingCoalesced_.emplace(
+        corr, PendingCoalesced{std::move(db.members), laneShard, items});
+    const std::uint64_t due =
+        nowNanos() + retryDelayNanos(cfg_.workerRetry, 1, rng_);
+    retries_.emplace(
+        corr, WireRetry{dest, Op::kWBulk, payload, 1, due, 0, laneShard});
+    noteRetryDue(due);
+  }
+  {
+    std::lock_guard lock(coalesceMu_);
+    ++lanes_[laneShard].inFlight;
+  }
+  fabric_.send(dest, makeMessage(Op::kWBulk, corr, serverEndpoint(id_),
+                                 std::move(payload)));
+  return true;
+}
+
 void Server::handleInsert(const Message& m) {
   if (dedupClientRequest(m)) return;
+  if (resumeDroppedBatch(m)) return;
   if (resumeDroppedInsert(m)) return;
   ByteReader r(m.payload);
   const Point p = readPoint(r);
   insertsRouted_.fetch_add(1, std::memory_order_relaxed);
 
-  imageLock_.lock();  // routeInsert expands boxes: exclusive
-  const LocalImage::Route route = image_.routeInsert(p.ref());
-  const WorkerId w = image_.workerOf(route.shard);
-  imageLock_.unlock();
-  if (route.expanded) boxExpansions_.fetch_add(1, std::memory_order_relaxed);
+  // Lock-free fast path: route against the immutable snapshot. Any leaf
+  // whose box contains the point is a valid insert target; only a point no
+  // leaf contains (it must grow some box) needs the exclusive image lock.
+  ShardId shard = 0;
+  WorkerId w = kNoWorker;
+  if (const auto snap = currentSnapshot()) {
+    if (const RouteSnapshot::Leaf* leaf = snapshotRoute(*snap, p.ref())) {
+      shard = leaf->shard;
+      w = leaf->worker;
+      snapshotHits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (shard == 0) {
+    snapshotMisses_.fetch_add(1, std::memory_order_relaxed);
+    imageLock_.lock();  // routeInsert expands boxes: exclusive
+    const LocalImage::Route route = image_.routeInsert(p.ref());
+    shard = route.shard;
+    w = image_.workerOf(shard);
+    rebuildSnapshotLocked();
+    imageLock_.unlock();
+    if (route.expanded)
+      boxExpansions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (cfg_.coalesce) {
+    coalesceInsert(m, p, shard);
+    return;
+  }
 
   WInsert req;
-  req.shard = route.shard;
+  req.shard = shard;
   req.point = p;
-  Blob payload = req.encode();
+  const SharedBlob payload(req.encode());
   const std::uint64_t corr = nextCorr_.fetch_add(1);
   {
     std::lock_guard lock(pendingMu_);
     pendingInserts_[corr] = {m.from, m.corr};
-    retries_.emplace(
-        corr, WireRetry{workerEndpoint(w), Op::kWInsert, payload, 1,
-                        nowNanos() + retryDelayNanos(cfg_.workerRetry, 1,
-                                                     rng_),
-                        0, route.shard});
+    const std::uint64_t due =
+        nowNanos() + retryDelayNanos(cfg_.workerRetry, 1, rng_);
+    retries_.emplace(corr, WireRetry{workerEndpoint(w), Op::kWInsert, payload,
+                                     1, due, 0, shard});
+    noteRetryDue(due);
   }
   // A failed send (worker not bound yet) is fine: the sweep retransmits,
   // and on a exhausted budget the unacked insert falls to the client retry.
   fabric_.send(workerEndpoint(w), makeMessage(Op::kWInsert, corr,
-                                              serverEndpoint(id_),
-                                              std::move(payload)));
+                                              serverEndpoint(id_), payload));
+}
+
+// ---- ingest coalescing ------------------------------------------------------
+
+void Server::coalesceInsert(const Message& m, const Point& p, ShardId shard) {
+  bool flushNow = false;
+  bool eager = false;
+  {
+    std::lock_guard lock(coalesceMu_);
+    Lane& lane = lanes_[shard];
+    if (lane.buf.dims() != schema_.dims())
+      lane.buf = PointSet(schema_.dims());
+    if (lane.buf.size() == 0) lane.oldestNanos = nowNanos();
+    lane.buf.push(p.ref());
+    lane.members.push_back({m.from, m.corr});
+    const unsigned cap = lane.slow ? 1u : cfg_.coalesceMaxInFlight;
+    if (lane.inFlight < cap) {
+      if (lane.buf.size() >= cfg_.coalesceMaxItems) {
+        flushNow = true;
+      } else if (cfg_.coalesceEager && !lane.slow && lane.inFlight == 0) {
+        // Idle pipe: send right away — a one-at-a-time synchronous
+        // inserter sees zero added latency. Under pipelined load the
+        // window fills and later arrivals batch up behind it.
+        flushNow = true;
+        eager = true;
+      }
+    }
+  }
+  if (flushNow) {
+    (eager ? coalesceEagerFlushes_ : coalesceSizeFlushes_)
+        .fetch_add(1, std::memory_order_relaxed);
+    flushLane(shard);
+  }
+}
+
+void Server::flushLane(ShardId shard) {
+  ShardBatch req;
+  req.shard = shard;
+  std::vector<PendingInsert> members;
+  {
+    std::lock_guard lock(coalesceMu_);
+    auto it = lanes_.find(shard);
+    if (it == lanes_.end() || it->second.buf.size() == 0) return;
+    Lane& lane = it->second;
+    if (lane.inFlight >= (lane.slow ? 1u : cfg_.coalesceMaxInFlight)) return;
+    req.items = std::move(lane.buf);
+    members = std::move(lane.members);
+    lane.buf = PointSet(schema_.dims());
+    lane.members.clear();
+    ++lane.inFlight;
+  }
+  // Encode and resolve the worker OUTSIDE the lane lock: serialization is
+  // the expensive part, and the image lock must never nest inside it.
+  WorkerId w;
+  {
+    imageLock_.lock_shared();
+    w = image_.workerOf(shard);
+    imageLock_.unlock_shared();
+  }
+  const std::size_t n = req.items.size();
+  const SharedBlob payload(req.encode());
+  const std::uint64_t corr = nextCorr_.fetch_add(1);
+  const std::string dest = workerEndpoint(w);
+  {
+    std::lock_guard lock(pendingMu_);
+    pendingCoalesced_.emplace(corr,
+                              PendingCoalesced{std::move(members), shard, n});
+    const std::uint64_t due =
+        nowNanos() + retryDelayNanos(cfg_.workerRetry, 1, rng_);
+    retries_.emplace(corr,
+                     WireRetry{dest, Op::kWBulk, payload, 1, due, 0, shard});
+    noteRetryDue(due);
+  }
+  coalescedBatches_.fetch_add(1, std::memory_order_relaxed);
+  coalescedItems_.fetch_add(n, std::memory_order_relaxed);
+  fabric_.send(dest, makeMessage(Op::kWBulk, corr, serverEndpoint(id_),
+                                 payload));
+}
+
+std::uint64_t Server::flushExpired(std::uint64_t now, std::uint64_t horizon) {
+  std::vector<ShardId> due;
+  std::uint64_t wake = horizon;
+  {
+    std::lock_guard lock(coalesceMu_);
+    for (auto& [shard, lane] : lanes_) {
+      if (lane.buf.size() == 0) continue;
+      if (lane.inFlight >= (lane.slow ? 1u : cfg_.coalesceMaxInFlight))
+        continue;  // window full: the next ack releases this lane
+      const std::uint64_t deadline =
+          lane.oldestNanos + cfg_.coalesceDelayNanos;
+      if (deadline <= now)
+        due.push_back(shard);
+      else
+        wake = std::min(wake, deadline);
+    }
+  }
+  for (ShardId shard : due) {
+    coalesceDeadlineFlushes_.fetch_add(1, std::memory_order_relaxed);
+    flushLane(shard);
+  }
+  return wake;
 }
 
 void Server::handleWorkerInsertAck(const Message& m) {
@@ -437,20 +721,20 @@ void Server::handleQuery(const Message& m) {
     WQuery req;
     req.shards = std::move(shardIds);
     req.box = box;
-    Blob payload = req.encode();
+    const SharedBlob payload(req.encode());
     const std::uint64_t corr = nextCorr_.fetch_add(1);
     {
       std::lock_guard lock(pendingMu_);
       pendingQueries_.emplace(corr, q);
-      retries_.emplace(
-          corr, WireRetry{workerEndpoint(w), Op::kWQuery, payload, 1,
-                          nowNanos() + retryDelayNanos(cfg_.workerRetry, 1,
-                                                       rng_),
-                          nShards});
+      const std::uint64_t due =
+          nowNanos() + retryDelayNanos(cfg_.workerRetry, 1, rng_);
+      retries_.emplace(corr, WireRetry{workerEndpoint(w), Op::kWQuery,
+                                       payload, 1, due, nShards});
+      noteRetryDue(due);
     }
     fabric_.send(workerEndpoint(w), makeMessage(Op::kWQuery, corr,
                                                 serverEndpoint(id_),
-                                                std::move(payload)));
+                                                payload));
   }
 }
 
@@ -475,24 +759,25 @@ void Server::chase(const std::shared_ptr<PendingQuery>& q, ShardId id,
   } else {
     imageLock_.lock();
     image_.setWorker(id, dest);
+    rebuildSnapshotLocked();
     imageLock_.unlock();
   }
   WQuery req;
   req.shards = {id};
   req.box = q->box;
-  Blob payload = req.encode();
+  const SharedBlob payload(req.encode());
   const std::uint64_t corr = nextCorr_.fetch_add(1);
   pendingQueries_.emplace(corr, q);
-  retries_.emplace(
-      corr, WireRetry{workerEndpoint(dest), Op::kWQuery, payload, 1,
-                      nowNanos() + retryDelayNanos(cfg_.workerRetry, 1,
-                                                   rng_),
-                      1});
+  const std::uint64_t due =
+      nowNanos() + retryDelayNanos(cfg_.workerRetry, 1, rng_);
+  retries_.emplace(corr, WireRetry{workerEndpoint(dest), Op::kWQuery, payload,
+                                   1, due, 1});
+  noteRetryDue(due);
   ++q->remaining;
   chases_.fetch_add(1, std::memory_order_relaxed);
   fabric_.send(workerEndpoint(dest),
                makeMessage(Op::kWQuery, corr, serverEndpoint(id_),
-                           std::move(payload)));
+                           payload));
 }
 
 void Server::handleWorkerQueryReply(const Message& m) {
@@ -556,9 +841,33 @@ void Server::handleBulk(const Message& m) {
 
   std::map<ShardId, PointSet> byShard;
   std::map<ShardId, WorkerId> workers;
-  {
-    imageLock_.lock();
+  // Route the bulk of the batch against the lock-free snapshot; only the
+  // items no leaf contains (they grow a box) take the exclusive image path.
+  std::vector<std::size_t> missed;
+  const auto snap = currentSnapshot();
+  if (snap != nullptr && !snap->leaves.empty()) {
     for (std::size_t i = 0; i < items.size(); ++i) {
+      const PointRef p = items.at(i);
+      const RouteSnapshot::Leaf* leaf = snapshotRoute(*snap, p);
+      if (leaf == nullptr) {
+        missed.push_back(i);
+        continue;
+      }
+      auto [it, fresh] =
+          byShard.try_emplace(leaf->shard, PointSet(schema_.dims()));
+      it->second.push(p);
+      if (fresh) workers[leaf->shard] = leaf->worker;
+    }
+    snapshotHits_.fetch_add(items.size() - missed.size(),
+                            std::memory_order_relaxed);
+    snapshotMisses_.fetch_add(missed.size(), std::memory_order_relaxed);
+  } else {
+    missed.resize(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) missed[i] = i;
+  }
+  if (!missed.empty()) {
+    imageLock_.lock();
+    for (const std::size_t i : missed) {
       const PointRef p = items.at(i);
       const LocalImage::Route route = image_.routeInsert(p);
       if (route.expanded)
@@ -566,8 +875,9 @@ void Server::handleBulk(const Message& m) {
       auto [it, fresh] =
           byShard.try_emplace(route.shard, PointSet(schema_.dims()));
       it->second.push(p);
-      if (fresh) workers[route.shard] = image_.workerOf(route.shard);
+      workers[route.shard] = image_.workerOf(route.shard);
     }
+    rebuildSnapshotLocked();
     imageLock_.unlock();
   }
   if (byShard.empty()) {
@@ -584,24 +894,74 @@ void Server::handleBulk(const Message& m) {
     ShardBatch req;
     req.shard = shard;
     req.items = std::move(batch);
-    Blob payload = req.encode();
+    const SharedBlob payload(req.encode());
     const std::uint64_t corr = nextCorr_.fetch_add(1);
     {
       std::lock_guard lock(pendingMu_);
       pendingBulks_.emplace(corr, bulk);
-      retries_.emplace(
-          corr,
-          WireRetry{workerEndpoint(workers[shard]), Op::kWBulk, payload, 1,
-                    nowNanos() + retryDelayNanos(cfg_.workerRetry, 1, rng_),
-                    0});
+      const std::uint64_t due =
+          nowNanos() + retryDelayNanos(cfg_.workerRetry, 1, rng_);
+      retries_.emplace(corr, WireRetry{workerEndpoint(workers[shard]),
+                                       Op::kWBulk, payload, 1, due, 0, shard});
+      noteRetryDue(due);
     }
     fabric_.send(workerEndpoint(workers[shard]),
                  makeMessage(Op::kWBulk, corr, serverEndpoint(id_),
-                             std::move(payload)));
+                             payload));
   }
 }
 
 void Server::handleWorkerBulkAck(const Message& m) {
+  WBulkAck ack;
+  bool decoded = true;
+  try {
+    ack = WBulkAck::decode(m.payload);
+  } catch (const DeserializeError&) {
+    decoded = false;  // garbled count; the ack itself still completes
+  }
+  // Coalesced batch: one wire ack fans out to every member's client.
+  std::vector<PendingInsert> members;
+  ShardId laneShard = 0;
+  bool coalesced = false;
+  {
+    std::lock_guard lock(pendingMu_);
+    auto cit = pendingCoalesced_.find(m.corr);
+    if (cit != pendingCoalesced_.end()) {
+      coalesced = true;
+      members = std::move(cit->second.members);
+      laneShard = cit->second.shard;
+      pendingCoalesced_.erase(cit);
+      retries_.erase(m.corr);
+    }
+  }
+  if (coalesced) {
+    bool flushNext = false;
+    {
+      std::lock_guard lock(coalesceMu_);
+      auto it = lanes_.find(laneShard);
+      if (it != lanes_.end()) {
+        Lane& lane = it->second;
+        if (lane.inFlight > 0) --lane.inFlight;
+        const bool wasSlow = lane.slow;
+        lane.slow =
+            decoded && ack.backlog >= cfg_.coalesceBacklogWatermark;
+        if (lane.slow && !wasSlow)
+          lanesThrottled_.fetch_add(1, std::memory_order_relaxed);
+        // Ack-clocked release: the freed window slot immediately carries
+        // whatever batched up behind it.
+        flushNext = lane.buf.size() > 0 &&
+                    lane.inFlight < (lane.slow ? 1u
+                                               : cfg_.coalesceMaxInFlight);
+      }
+    }
+    for (const auto& pi : members)
+      replyToClient(pi.clientEp, pi.clientCorr, Op::kInsertAck, {});
+    if (flushNext) {
+      coalesceEagerFlushes_.fetch_add(1, std::memory_order_relaxed);
+      flushLane(laneShard);
+    }
+    return;
+  }
   std::shared_ptr<PendingBulk> bulk;
   bool finished = false;
   {
@@ -611,11 +971,7 @@ void Server::handleWorkerBulkAck(const Message& m) {
     bulk = it->second;
     pendingBulks_.erase(it);
     retries_.erase(m.corr);
-    try {
-      ByteReader r(m.payload);
-      bulk->applied += r.varint();
-    } catch (const DeserializeError&) {
-    }
+    if (decoded) bulk->applied += ack.applied;
     finished = --bulk->remaining == 0;
   }
   if (finished) finishBulk(*bulk);
@@ -665,6 +1021,7 @@ void Server::syncPush() {
       {
         imageLock_.lock();
         image_.applyRemote(stored);
+        rebuildSnapshotLocked();
         imageLock_.unlock();
       }
       ByteWriter w;

@@ -48,6 +48,28 @@ struct ServerConfig {
   /// default client budget so a query degrades to a partial reply before
   /// the client gives up on the whole request.
   RetryPolicy workerRetry{100'000'000, 1'000'000'000, 10'000'000, 1.6, 5};
+
+  // --- Ingest coalescing (the high-velocity hot path) -----------------------
+  /// Fold many small client inserts into per-(worker, shard) kWBulk batches:
+  /// one wire message, one correlation id, one retry entry, one WAL commit
+  /// per batch instead of per item.
+  bool coalesce = true;
+  /// Flush a lane's buffer once it holds this many items...
+  std::size_t coalesceMaxItems = 4096;
+  /// ...or once its oldest item has waited this long.
+  std::uint64_t coalesceDelayNanos = 2'000'000;
+  /// Maximum coalesced batches in flight per lane; further flushes are
+  /// ack-clocked (each kWBulkAck releases the next batch), so the batch
+  /// size adapts to the worker round-trip automatically.
+  unsigned coalesceMaxInFlight = 4;
+  /// Eager flush: a lane with nothing in flight sends immediately, so a
+  /// synchronous (one-at-a-time) inserter sees no added latency; buffering
+  /// only kicks in once the pipe is full.
+  bool coalesceEager = true;
+  /// Backpressure: a kWBulkAck reporting a worker inbox depth at or above
+  /// this marks the lane slow — in-flight capped at 1 and eager flushing
+  /// off — until an ack reports the backlog drained below it.
+  std::uint64_t coalesceBacklogWatermark = 512;
 };
 
 class Server {
@@ -77,11 +99,22 @@ class Server {
     std::uint64_t repliesReplayed = 0;  // client retries answered from cache
     std::uint64_t dupRequests = 0;      // client retries dropped (in flight)
     std::uint64_t staleEpochAcks = 0;   // zombie-owner acks rejected
+    // Ingest hot path.
+    std::uint64_t snapshotHits = 0;     // inserts routed via the snapshot
+    std::uint64_t snapshotMisses = 0;   // fell back to exclusive routing
+    std::uint64_t coalescedBatches = 0;  // kWBulk batches the coalescer sent
+    std::uint64_t coalescedItems = 0;    // client inserts riding them
+    std::uint64_t coalesceSizeFlushes = 0;
+    std::uint64_t coalesceDeadlineFlushes = 0;
+    std::uint64_t coalesceEagerFlushes = 0;
+    std::uint64_t lanesThrottled = 0;   // backpressure engagements
     // Gauges: all must return to 0 once traffic drains (leak detector).
     std::size_t pendingInserts = 0;
     std::size_t pendingQueries = 0;
     std::size_t pendingBulks = 0;
     std::size_t retryEntries = 0;
+    std::size_t pendingCoalesced = 0;   // coalesced batches awaiting ack
+    std::size_t coalesceBuffered = 0;   // items waiting in lane buffers
   };
   Stats stats() const;
 
@@ -117,18 +150,20 @@ class Server {
   };
   /// Retransmission state for one worker-facing request, keyed by the same
   /// corr as its pending entry. The sweep retransmits overdue entries with
-  /// the same corr (workers deduplicate) and expires exhausted ones.
+  /// the same corr (workers deduplicate) and expires exhausted ones. The
+  /// payload is a shared immutable blob — the wire send and every
+  /// retransmission read the same allocation instead of copying it.
   struct WireRetry {
     std::string dest;
     Op op = Op::kWInsert;
-    Blob payload;
+    SharedBlob payload;
     unsigned attempts = 1;
     std::uint64_t dueNanos = 0;
     std::uint32_t shards = 0;  // query chunks: for unreachable accounting
-    /// For kWInsert: the routed shard. Retransmissions re-resolve the
-    /// destination through the image, so an insert outlives its original
-    /// worker — after a crash recovery the SAME request (same corr) lands
-    /// on the new owner, whose WAL-seeded dedup recognizes it.
+    /// For kWInsert / kWBulk: the routed shard. Retransmissions re-resolve
+    /// the destination through the image, so a request outlives its
+    /// original worker — after a crash recovery the SAME request (same
+    /// corr) lands on the new owner, whose WAL-seeded dedup recognizes it.
     ShardId shard = 0;
   };
   /// Wire identity of an insert whose worker budget was exhausted, keyed by
@@ -139,8 +174,55 @@ class Server {
   struct DroppedInsert {
     std::uint64_t corr = 0;
     std::string dest;
-    Blob payload;
+    SharedBlob payload;
     ShardId shard = 0;
+  };
+
+  // --- lock-light insert routing --------------------------------------------
+  /// Immutable flattened view of the image's leaves. Insert routing reads
+  /// it with no image lock at all (RCU-style: grab the shared_ptr under a
+  /// tiny mutex, then route against a snapshot that can never change);
+  /// every image mutation rebuilds it under the exclusive image lock.
+  /// Correctness: any leaf whose box contains the point is a valid insert
+  /// target (queries route by intersection), and boxes only grow — a stale
+  /// snapshot can only under-match, falling back to the exclusive path.
+  struct RouteSnapshot {
+    struct Leaf {
+      MdsKey box;
+      double volume = 0;
+      ShardId shard = 0;
+      WorkerId worker = kNoWorker;
+    };
+    std::vector<Leaf> leaves;
+  };
+
+  // --- ingest coalescing ------------------------------------------------------
+  /// One buffered-or-in-flight lane per target shard: points waiting to be
+  /// flushed, the clients to ack for each, and the in-flight window.
+  struct Lane {
+    PointSet buf;                        // buffered points, insertion order
+    std::vector<PendingInsert> members;  // parallel: who to ack per point
+    std::uint64_t oldestNanos = 0;       // arrival time of buf's first item
+    unsigned inFlight = 0;               // coalesced batches awaiting ack
+    bool slow = false;                   // backpressure engaged
+  };
+  /// Pending state for one coalesced batch (the analogue of PendingInsert,
+  /// fanned out): every member is acked when the single kWBulkAck lands.
+  struct PendingCoalesced {
+    std::vector<PendingInsert> members;
+    ShardId shard = 0;
+    std::size_t items = 0;
+  };
+  /// A coalesced batch whose worker retry budget was exhausted, parked for
+  /// resume-by-retransmission: when ANY member's client retransmits, the
+  /// whole batch is re-issued with the SAME corr and payload (the worker's
+  /// dedup must recognize an attempt that landed with only its ack lost).
+  struct DroppedBatch {
+    std::string dest;
+    SharedBlob payload;
+    ShardId shard = 0;
+    std::vector<PendingInsert> members;
+    std::size_t items = 0;
   };
 
   void serve();
@@ -166,13 +248,43 @@ class Server {
   /// True if `m` retransmits an insert whose worker budget was exhausted;
   /// the original wire request was re-issued with a fresh budget.
   bool resumeDroppedInsert(const Message& m);
+  /// True if `m` retransmits a member of a dropped coalesced batch; the
+  /// whole batch was re-issued (same corr/payload) with a fresh budget.
+  bool resumeDroppedBatch(const Message& m);
+
+  // --- lock-light routing / coalescing ---------------------------------------
+  /// Rebuild the routing snapshot from the image. Caller holds imageLock_
+  /// exclusively (every image mutation site calls this before unlocking).
+  void rebuildSnapshotLocked();
+  std::shared_ptr<const RouteSnapshot> currentSnapshot() const;
+  /// Route p via the snapshot: smallest-volume containing leaf, or nullptr
+  /// on a miss (the caller falls back to the exclusive image path).
+  static const RouteSnapshot::Leaf* snapshotRoute(const RouteSnapshot& snap,
+                                                  PointRef p);
+  /// Buffer one client insert into its shard's lane; flushes eagerly when
+  /// the lane is idle and on the size threshold.
+  void coalesceInsert(const Message& m, const Point& p, ShardId shard);
+  /// Flush one lane's buffer as a kWBulk batch (no-op on an empty buffer).
+  /// Never called with coalesceMu_ or pendingMu_ held.
+  void flushLane(ShardId shard);
+  /// Deadline pass (event loop): flush lanes whose oldest buffered item has
+  /// waited past the coalescing delay. Returns the next deadline (or
+  /// `horizon` if no lane holds anything).
+  std::uint64_t flushExpired(std::uint64_t now, std::uint64_t horizon);
   /// Complete a client request: clears the in-flight marker, remembers the
   /// reply for future retransmissions, and sends it.
   void replyToClient(const std::string& ep, std::uint64_t corr, Op op,
                      Blob payload);
   /// Retransmit overdue worker-facing requests; expire exhausted ones.
+  /// Recomputes nextRetryDueNanos_ from the surviving entries.
   void sweepRetries();
-  std::uint64_t nextWakeNanos(std::uint64_t nextSync);
+  /// Record a newly registered retry deadline. Caller holds pendingMu_
+  /// (every site that mutates retries_ does), so a plain min-store is
+  /// race-free; the event loop reads the atomic without the lock.
+  void noteRetryDue(std::uint64_t due) {
+    if (due < nextRetryDueNanos_.load(std::memory_order_relaxed))
+      nextRetryDueNanos_.store(due, std::memory_order_relaxed);
+  }
 
   static std::string clientKey(const std::string& ep, std::uint64_t corr) {
     return ep + '#' + std::to_string(corr);
@@ -186,12 +298,28 @@ class Server {
   KeeperClient zk_;  // event-loop thread only
 
   // The shared local image (SIII-C): request threads route under a shared
-  // lock for queries and an exclusive lock for inserts (which expand
-  // boxes); synchronization applies remote changes exclusively.
+  // lock for queries and an exclusive lock for inserts that miss the
+  // routing snapshot (those expand boxes); synchronization applies remote
+  // changes exclusively. The hot insert path routes against snapshot_
+  // without touching imageLock_ at all.
   mutable RwSpinLock imageLock_;
   LocalImage image_;
+  mutable std::mutex snapMu_;  // guards only the shared_ptr swap/copy
+  std::shared_ptr<const RouteSnapshot> snapshot_;
+
+  // Coalescing lanes, keyed by target shard (a shard has one worker at a
+  // time, so (worker, shard) lanes degenerate to per-shard lanes). Guarded
+  // by coalesceMu_; NEVER held together with pendingMu_ (flush extracts
+  // under coalesceMu_, releases, then registers under pendingMu_).
+  mutable std::mutex coalesceMu_;
+  std::map<ShardId, Lane> lanes_;
 
   mutable std::mutex pendingMu_;
+  /// Earliest dueNanos across retries_ (lower bound; ~0 when empty). The
+  /// event loop polls this instead of scanning the whole retry map under
+  /// pendingMu_ on every message — the scan now runs only when a deadline
+  /// has actually arrived.
+  std::atomic<std::uint64_t> nextRetryDueNanos_{~std::uint64_t{0}};
   std::atomic<std::uint64_t> nextCorr_{1};
   std::unordered_map<std::uint64_t, PendingInsert> pendingInserts_;
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingQuery>>
@@ -199,10 +327,14 @@ class Server {
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingBulk>>
       pendingBulks_;
   std::unordered_map<std::uint64_t, WireRetry> retries_;
+  std::unordered_map<std::uint64_t, PendingCoalesced> pendingCoalesced_;
   std::unordered_set<std::string> inFlightClient_;  // (client,corr) pending
   DedupCache replay_;  // completed replies for client retransmissions
   std::unordered_map<std::string, DroppedInsert> droppedInserts_;
   std::deque<std::string> droppedOrder_;  // FIFO eviction for the above
+  std::unordered_map<std::uint64_t, DroppedBatch> droppedBatches_;  // by corr
+  std::unordered_map<std::string, std::uint64_t> droppedBatchIndex_;
+  std::deque<std::uint64_t> droppedBatchOrder_;  // FIFO eviction
   Rng rng_;            // guarded by pendingMu_
 
   std::atomic<std::uint64_t> insertsRouted_{0};
@@ -217,6 +349,14 @@ class Server {
   std::atomic<std::uint64_t> repliesReplayed_{0};
   std::atomic<std::uint64_t> dupRequests_{0};
   std::atomic<std::uint64_t> staleEpochAcks_{0};
+  std::atomic<std::uint64_t> snapshotHits_{0};
+  std::atomic<std::uint64_t> snapshotMisses_{0};
+  std::atomic<std::uint64_t> coalescedBatches_{0};
+  std::atomic<std::uint64_t> coalescedItems_{0};
+  std::atomic<std::uint64_t> coalesceSizeFlushes_{0};
+  std::atomic<std::uint64_t> coalesceDeadlineFlushes_{0};
+  std::atomic<std::uint64_t> coalesceEagerFlushes_{0};
+  std::atomic<std::uint64_t> lanesThrottled_{0};
   std::atomic<std::size_t> knownShards_{0};
 
   // Declared after every piece of state its tasks touch: the pool drains

@@ -59,6 +59,8 @@ Worker::Worker(Fabric& fabric, const Schema& schema, WorkerId id,
       id_(id),
       cfg_(cfg),
       durable_(durable),
+      groupCommit_(durable != nullptr ? std::make_unique<GroupCommit>(*durable)
+                                      : nullptr),
       inbox_(fabric.bind(workerEndpoint(id))),
       zk_(fabric, workerEndpoint(id)),
       rng_(0x776f726bull ^ id),
@@ -246,16 +248,18 @@ void Worker::abandonRequest(const Message& m) {
 
 void Worker::sendWithRetry(const std::string& dest, Op op,
                            std::uint64_t corr, Blob payload, ShardId shard) {
+  // One allocation serves the wire send, the retry entry, and every
+  // retransmission: the payload becomes a shared immutable blob up front.
+  const SharedBlob shared(std::move(payload));
   {
     std::lock_guard lock(retryMu_);
     retryMap_.emplace(
-        corr, WireRetry{dest, op, payload, 1,
+        corr, WireRetry{dest, op, shared, 1,
                         nowNanos() + retryDelayNanos(cfg_.transferRetry, 1,
                                                      rng_),
                         shard});
   }
-  fabric_.send(dest, makeMessage(op, corr, workerEndpoint(id_),
-                                 std::move(payload)));
+  fabric_.send(dest, makeMessage(op, corr, workerEndpoint(id_), shared));
 }
 
 void Worker::sweepRetries() {
@@ -263,7 +267,7 @@ void Worker::sweepRetries() {
     std::string dest;
     Op op;
     std::uint64_t corr;
-    Blob payload;
+    SharedBlob payload;
   };
   std::vector<Resend> resend;
   std::vector<ShardId> abortedMigrations;
@@ -453,9 +457,9 @@ void Worker::handleInsert(const Message& m) {
       // will dedup) this (from, corr) from the restored WAL.
       PointSet one(schema_.dims());
       one.push(req.point.ref());
-      if (!durable_->append(targetId, epoch,
-                            makeWalRecord(m, Op::kWInsertAck, ackPayload,
-                                          one))) {
+      if (!groupCommit_->commit(targetId, epoch,
+                                makeWalRecord(m, Op::kWInsertAck, ackPayload,
+                                              one))) {
         active->fetch_sub(1, std::memory_order_acq_rel);
         fencedOps_.fetch_add(1, std::memory_order_relaxed);
         abandonRequest(m);
@@ -522,7 +526,11 @@ void Worker::handleQuery(const Message& m) {
   // pool task cannot deadlock even when every pool thread is busy. The
   // partial-reply semantics (moved/unreachable shards reported via
   // reply.moved) were resolved above and are untouched by the fan-out.
-  if (targets.size() > 1 && pool_.size() > 1) {
+  // On a single hardware thread the fan-out is pure overhead (helper-task
+  // enqueues and wakeups with no one to run them in parallel), so fall
+  // back to the serial merge there.
+  static const bool multicore = std::thread::hardware_concurrency() > 1;
+  if (targets.size() > 1 && pool_.size() > 1 && multicore) {
     std::vector<Aggregate> partials(targets.size());
     pool_.parallelFor(targets.size(), [&](std::size_t i) {
       partials[i] = targets[i]->query(req.box);
@@ -550,12 +558,16 @@ void Worker::handleBulk(const Message& m) {
     if (acked) abandonRequest(m);
     return;
   }
-  for (std::size_t i = 0; i < batch.items.size(); ++i) {
-    if (!pointInDomain(schema_, batch.items.at(i))) {
-      dropped_.fetch_add(batch.items.size(), std::memory_order_relaxed);
-      if (acked) abandonRequest(m);
-      return;  // poisoned batch: reject wholesale, never ack
-    }
+  bool poisoned = false;
+  for (std::size_t i = 0; i < batch.items.size() && !poisoned; ++i)
+    poisoned = !pointInDomain(schema_, batch.items.at(i));
+  if (poisoned) {
+    // Poisoned batch: reject wholesale, never ack. Counted once, outside
+    // the scan — the items once, the batch once.
+    dropped_.fetch_add(batch.items.size(), std::memory_order_relaxed);
+    rejectedBatches_.fetch_add(1, std::memory_order_relaxed);
+    if (acked) abandonRequest(m);
+    return;
   }
   // Resolve the slot, partitioning recursively along split mappings.
   struct Target {
@@ -574,6 +586,7 @@ void Worker::handleBulk(const Message& m) {
   std::uint64_t forwarded = 0;
   std::vector<std::pair<ShardId, PointSet>> work;
   work.emplace_back(batch.shard, std::move(batch.items));
+  bool fencedUnknown = false;
   {
     std::lock_guard lock(slotsMu_);
     while (!work.empty()) {
@@ -581,6 +594,14 @@ void Worker::handleBulk(const Message& m) {
       work.pop_back();
       Slot* slot = findSlot(id);
       if (slot == nullptr) {
+        if (durable_ != nullptr && durable_->knows(id)) {
+          // A shard the durable store knows but this worker does not host:
+          // we were fenced out of it (coalesced singles ride kWBulk, so
+          // this mirrors kWInsert's fenced handling). Acking would claim
+          // items that were never applied — bail out below, unacked.
+          fencedUnknown = true;
+          break;
+        }
         dropped_.fetch_add(items.size(), std::memory_order_relaxed);
         continue;
       }
@@ -642,6 +663,15 @@ void Worker::handleBulk(const Message& m) {
       targets.push_back(std::move(t));
     }
   }
+  if (fencedUnknown) {
+    // Drop the whole batch unacked and silent — no forwards either: the
+    // sender's retry re-resolves every member against fresh placement.
+    for (const auto& t : targets)
+      t.active->fetch_sub(1, std::memory_order_acq_rel);
+    fencedOps_.fetch_add(1, std::memory_order_relaxed);
+    if (acked) abandonRequest(m);
+    return;
+  }
   for (auto& f : forwards) {
     // The forwarded hop rides this worker's own retry budget; the new
     // owner acks (kWBulkAck / kTransferItemsAck back to us) to stop it.
@@ -650,19 +680,26 @@ void Worker::handleBulk(const Message& m) {
   }
   std::uint64_t toApply = 0;
   for (const auto& t : targets) toApply += t.items.size();
-  ByteWriter ackW;
-  ackW.varint(toApply + forwarded);
-  const Blob ackPayload = ackW.take();
+  // The ack carries a backpressure hint: this worker's inbox depth at ack
+  // time. Servers throttle coalesced flushes when it crosses their
+  // watermark (see ServerConfig::coalesceBacklogWatermark).
+  const Blob ackPayload =
+      WBulkAck{toApply + forwarded,
+               static_cast<std::uint64_t>(inbox_->pending())}
+          .encode();
   if (durable_ != nullptr && !targets.empty()) {
     // Write-ahead of both the apply and the ack, while every target's
     // in-flight count is held (so a concurrent checkpoint cannot truncate
-    // between our append and apply). If ANY target is fenced, roll back
-    // the appends that did land and drop the whole batch unacked: the
-    // sender's retry re-partitions against fresh placement.
+    // between our append and apply). Commits ride the group-commit lane:
+    // concurrent batches to the same shard fold into one WAL lock
+    // acquisition. If ANY target is fenced, roll back the appends that did
+    // land and drop the whole batch unacked: the sender's retry
+    // re-partitions against fresh placement.
     bool fenced = false;
     for (const auto& t : targets) {
-      if (!durable_->append(t.id, t.epoch,
-                            makeWalRecord(m, ackOp, ackPayload, t.items))) {
+      if (!groupCommit_->commit(t.id, t.epoch,
+                                makeWalRecord(m, ackOp, ackPayload,
+                                              t.items))) {
         fenced = true;
         break;
       }
@@ -683,7 +720,9 @@ void Worker::handleBulk(const Message& m) {
   }
   std::uint64_t applied = 0;
   for (auto& t : targets) {
-    t.shard->bulkLoad(t.items);
+    // Hilbert-presorted batch apply: sibling points share descent paths and
+    // the bounds/size bookkeeping is amortized over the batch.
+    t.shard->bulkInsert(t.items);
     applied += t.items.size();
     t.active->fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -866,6 +905,24 @@ void Worker::handleTransferShard(const Message& m) {
     } catch (const DeserializeError&) {
       return;  // corrupt transfer; the source will keep owning the shard
     }
+    // Seed the replay cache with every dedup identity the durable store
+    // knows for this shard — the live WAL tail plus the applied index of
+    // records the source's checkpoints already folded away. All of them
+    // were applied by the SOURCE and are part of the shipped blob, so a
+    // sender retransmitting one (its ack died with the old placement)
+    // must get the ack replayed here, never a second apply. Insert acks
+    // are re-stamped with the shipped epoch, mirroring crash recovery.
+    if (durable_ != nullptr) {
+      const std::vector<WalRecord> tail = durable_->dedupTail(xfer.shard);
+      std::lock_guard lock(dedupMu_);
+      for (const auto& rec : tail) {
+        if (rec.corr == 0) continue;
+        Blob ack = rec.ackPayload;
+        if (rec.ackOp == static_cast<std::uint16_t>(Op::kWInsertAck))
+          ack = WInsertAckInfo{xfer.shard, xfer.epoch}.encode();
+        replay_.remember(rec.from, rec.corr, rec.ackOp, std::move(ack));
+      }
+    }
     std::lock_guard lock(slotsMu_);
     // Claim the shard in the durable store under the shipped epoch before
     // serving it. A failure means the shard was fenced past this epoch
@@ -983,19 +1040,25 @@ void Worker::handleRecoverShard(const Message& m) {
     report();  // ok = false: corrupt durable state; supervisor gives up
     return;
   }
-  // Seed the replay cache with the logged acks so an originating server
-  // retransmitting an already-applied insert gets an ack instead of a
-  // double apply. Insert acks are re-stamped with the new epoch (the old
-  // stamp would be rejected as a zombie ack — correctly, but needlessly).
+  // Seed the replay cache with the logged acks — both the applied index
+  // (requests older checkpoints folded away) and the WAL tail — so an
+  // originating server retransmitting an already-applied insert gets an
+  // ack instead of a double apply. Insert acks are re-stamped with the
+  // new epoch (the old stamp would be rejected as a zombie ack —
+  // correctly, but needlessly).
   {
     std::lock_guard lock(dedupMu_);
-    for (const auto& rec : req.wal) {
-      if (rec.corr == 0) continue;
-      Blob ack = rec.ackPayload;
-      if (rec.ackOp == static_cast<std::uint16_t>(Op::kWInsertAck))
-        ack = WInsertAckInfo{req.shard, req.epoch}.encode();
-      replay_.remember(rec.from, rec.corr, rec.ackOp, std::move(ack));
-    }
+    auto seed = [&](const std::vector<WalRecord>& recs) {
+      for (const auto& rec : recs) {
+        if (rec.corr == 0) continue;
+        Blob ack = rec.ackPayload;
+        if (rec.ackOp == static_cast<std::uint16_t>(Op::kWInsertAck))
+          ack = WInsertAckInfo{req.shard, req.epoch}.encode();
+        replay_.remember(rec.from, rec.corr, rec.ackOp, std::move(ack));
+      }
+    };
+    seed(req.applied);
+    seed(req.wal);
   }
   {
     std::lock_guard lock(slotsMu_);

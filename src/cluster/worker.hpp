@@ -33,6 +33,7 @@
 
 #include "cluster/protocol.hpp"
 #include "cluster/types.hpp"
+#include "common/group_commit.hpp"
 #include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -80,6 +81,8 @@ class Worker {
   /// Items addressed to a shard this worker has never heard of — always 0
   /// in a healthy cluster; tests assert on it.
   std::uint64_t itemsDropped() const { return dropped_.load(); }
+  /// Whole batches refused because they carried out-of-domain points.
+  std::uint64_t batchesRejected() const { return rejectedBatches_.load(); }
   std::uint64_t itemsHeld() const;
   std::size_t shardCount() const;
 
@@ -101,6 +104,14 @@ class Worker {
   /// Shards restored onto this worker via kRecoverShard.
   std::uint64_t shardsRecovered() const { return recovered_.load(); }
   std::uint64_t checkpointsTaken() const { return checkpoints_.load(); }
+  /// Group-commit batching diagnostics: appendGroup calls / records they
+  /// carried. records/groups > 1 means WAL lock acquisitions were folded.
+  std::uint64_t groupCommitGroups() const {
+    return groupCommit_ ? groupCommit_->groups() : 0;
+  }
+  std::uint64_t groupCommitRecords() const {
+    return groupCommit_ ? groupCommit_->records() : 0;
+  }
 
  private:
   /// One shard's slot, including the in-flight split/migration overlay of
@@ -131,11 +142,13 @@ class Worker {
     std::uint64_t managerCorr = 0;
   };
 
-  /// Retransmission state for one worker-to-worker request.
+  /// Retransmission state for one worker-to-worker request. The payload is
+  /// a shared immutable blob: the wire send and every retransmission read
+  /// the same allocation instead of each copying it.
   struct WireRetry {
     std::string dest;
     Op op = Op::kTransferShard;
-    Blob payload;
+    SharedBlob payload;
     unsigned attempts = 1;
     std::uint64_t dueNanos = 0;
     ShardId shard = 0;  // for kTransferShard: which migration to abort
@@ -197,6 +210,10 @@ class Worker {
   const WorkerId id_;
   const WorkerConfig cfg_;
   DurableLog* const durable_;  // nullable: durability off
+  /// Group commit over durable_ (present iff durable_ is): concurrent
+  /// same-shard WAL appends fold into one lock acquisition (see
+  /// common/group_commit.hpp).
+  std::unique_ptr<GroupCommit> groupCommit_;
   std::shared_ptr<Mailbox> inbox_;
   KeeperClient zk_;
   mutable std::mutex slotsMu_;
@@ -215,6 +232,7 @@ class Worker {
   std::atomic<std::uint64_t> inserts_{0};
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> rejectedBatches_{0};
   std::atomic<std::uint64_t> redelivered_{0};
   std::atomic<std::uint64_t> retriesSent_{0};
   std::atomic<std::uint64_t> forwardsLost_{0};

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,10 @@ struct DurableSnapshot {
   std::uint32_t owner = 0;  // last owner to checkpoint
   Blob checkpoint;          // kTransferShard-format blob (may be empty)
   std::vector<WalRecord> wal;  // records appended since that checkpoint
+  /// Dedup identities of records older checkpoints truncated (items
+  /// empty). The restorer seeds its replay cache from these too, so a
+  /// retransmission of a pre-checkpoint request is answered, not applied.
+  std::vector<WalRecord> applied;
 };
 
 /// Shared durable store, one entry per shard. Thread-safe: a short global
@@ -84,9 +89,34 @@ class DurableLog {
     return true;
   }
 
+  /// Group commit: append a whole batch of records under ONE per-entry lock
+  /// acquisition. All-or-nothing against the fencing epoch — if the shard
+  /// has been fenced past `epoch`, no record lands and the caller must not
+  /// ack any member of the group. Callers pre-serialize records (the
+  /// expensive PointSet encoding) before calling, so nothing heavy runs
+  /// under the entry lock.
+  bool appendGroup(std::uint64_t shard, std::uint64_t epoch,
+                   std::vector<WalRecord>&& recs) {
+    if (recs.empty()) return true;
+    Rec* r = entry(shard);
+    std::lock_guard lock(r->mu);
+    if (epoch < r->epoch) return false;
+    r->epoch = epoch;
+    r->wal.reserve(r->wal.size() + recs.size());
+    for (auto& rec : recs) r->wal.push_back(std::move(rec));
+    return true;
+  }
+
   /// Replace the checkpoint and truncate the log. The caller must have
   /// quiesced the shard so `blob` covers every record being truncated.
   /// Returns false if fenced past `epoch`.
+  ///
+  /// Truncation does NOT discard the records' dedup identities: each is
+  /// folded into the bounded `applied` index (items dropped, ack kept) so
+  /// that a later owner — migration target or crash recovery — can still
+  /// replay the ack for a request whose sender retransmits after the
+  /// checkpoint swallowed its WAL record. Without this, checkpoint +
+  /// migrate + lost ack re-applies the whole request at the new owner.
   bool saveCheckpoint(std::uint64_t shard, std::uint64_t epoch,
                       std::uint32_t owner, Blob blob) {
     Rec* r = entry(shard);
@@ -95,6 +125,11 @@ class DurableLog {
     r->epoch = epoch;
     r->owner = owner;
     r->checkpoint = std::move(blob);
+    for (auto& rec : r->wal) {
+      rec.items.clear();
+      r->applied.push_back(std::move(rec));
+    }
+    while (r->applied.size() > kAppliedCap) r->applied.pop_front();
     r->wal.clear();
     return true;
   }
@@ -133,6 +168,7 @@ class DurableLog {
     snap.owner = r->owner;
     snap.checkpoint = r->checkpoint;
     snap.wal = r->wal;
+    snap.applied.assign(r->applied.begin(), r->applied.end());
     return snap;
   }
 
@@ -161,6 +197,26 @@ class DurableLog {
     return it->second->wal.size();
   }
 
+  /// Every dedup identity the store knows for this shard — the applied
+  /// index (checkpointed-away records, items empty) followed by the live
+  /// WAL tail — without fencing. A migration target seeds its replay
+  /// cache from this (records carry the original (from, corr) and ack)
+  /// so a sender retransmitting a request the OLD owner applied — ack
+  /// lost in flight — gets the ack replayed instead of a double apply,
+  /// exactly as crash recovery does with the fence snapshot.
+  std::vector<WalRecord> dedupTail(std::uint64_t shard) const {
+    std::lock_guard lock(mu_);
+    auto it = recs_.find(shard);
+    if (it == recs_.end()) return {};
+    std::lock_guard rlock(it->second->mu);
+    std::vector<WalRecord> out;
+    out.reserve(it->second->applied.size() + it->second->wal.size());
+    out.insert(out.end(), it->second->applied.begin(),
+               it->second->applied.end());
+    out.insert(out.end(), it->second->wal.begin(), it->second->wal.end());
+    return out;
+  }
+
   bool hasCheckpoint(std::uint64_t shard) const {
     std::lock_guard lock(mu_);
     auto it = recs_.find(shard);
@@ -184,7 +240,16 @@ class DurableLog {
     std::uint32_t owner = 0;
     Blob checkpoint;
     std::vector<WalRecord> wal;
+    /// Dedup identities of records a checkpoint folded away (items
+    /// cleared, ack kept). Bounded FIFO; see kAppliedCap.
+    std::deque<WalRecord> applied;
   };
+
+  /// How many checkpointed-away (from, corr) identities to retain per
+  /// shard. Bounds the window in which a sender's retransmission of an
+  /// already-applied, already-checkpointed request is still answered from
+  /// a successor's replay cache instead of re-applied.
+  static constexpr std::size_t kAppliedCap = 8192;
 
   Rec* entry(std::uint64_t shard) {
     std::lock_guard lock(mu_);

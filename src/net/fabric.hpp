@@ -8,6 +8,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,11 +23,54 @@
 
 namespace volap {
 
+/// Immutable, reference-counted message payload. A payload is typically
+/// born once (encode) and then referenced from several places at the same
+/// time — the in-flight message, the sender's retransmission entry, and
+/// (in-process) the receiver's copy of the message. Sharing one allocation
+/// removes a full byte copy per retry entry and per retransmission, which
+/// matters on the ingest hot path where coalesced batches run to megabytes.
+/// Converts implicitly to `const Blob&` so decode helpers taking a Blob
+/// keep working; it is also a contiguous range, so `ByteReader r(payload)`
+/// works unchanged.
+class SharedBlob {
+ public:
+  SharedBlob() = default;
+  SharedBlob(Blob b) : blob_(std::make_shared<const Blob>(std::move(b))) {}
+  SharedBlob(std::initializer_list<std::uint8_t> init)
+      : blob_(std::make_shared<const Blob>(init)) {}
+  explicit SharedBlob(std::shared_ptr<const Blob> b) : blob_(std::move(b)) {}
+
+  operator const Blob&() const { return ref(); }
+  const Blob& ref() const {
+    static const Blob kEmpty;
+    return blob_ ? *blob_ : kEmpty;
+  }
+
+  const std::uint8_t* data() const { return ref().data(); }
+  std::size_t size() const { return blob_ ? blob_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + size(); }
+
+  friend bool operator==(const SharedBlob& a, const Blob& b) {
+    return a.ref() == b;
+  }
+  friend bool operator==(const Blob& a, const SharedBlob& b) {
+    return a == b.ref();
+  }
+  friend bool operator==(const SharedBlob& a, const SharedBlob& b) {
+    return a.ref() == b.ref();
+  }
+
+ private:
+  std::shared_ptr<const Blob> blob_;
+};
+
 struct Message {
   std::uint16_t type = 0;  // protocol-defined opcode
   std::uint64_t corr = 0;  // correlation id for request/reply matching
   std::string from;        // sender endpoint, used for replies
-  Blob payload;
+  SharedBlob payload;      // immutable, shared with any retry entry
 };
 
 /// A node's inbox. recv() blocks; close() releases all blocked receivers.

@@ -38,6 +38,8 @@ class ArrayShard final : public Shard {
     lock_.unlock();
   }
 
+  void bulkInsert(const PointSet& batch) override { bulkLoad(batch); }
+
   Aggregate query(const QueryBox& q) const override {
     // Flattened query: only the constrained dimensions are tested, each
     // with a fused lo/hi compare (see olap/flat_query.hpp).

@@ -73,8 +73,17 @@ class Shard {
 
   /// Bulk ingestion path (paper SIV-C: ">400 thousand items per second").
   /// Orders of magnitude faster than point insertion when the shard is
-  /// empty; falls back to repeated insert otherwise.
+  /// empty; falls back to bulkInsert otherwise.
   virtual void bulkLoad(const PointSet& items) = 0;
+
+  /// Batch insert into a (possibly non-empty) shard, concurrent with
+  /// queries. The ingest hot path: implementations presort the batch (e.g.
+  /// by Hilbert key) so sibling items share descent paths, and amortize
+  /// per-item bookkeeping (bounds lock, size counter) over the batch.
+  /// Defaults to a plain insert loop.
+  virtual void bulkInsert(const PointSet& items) {
+    for (std::size_t i = 0; i < items.size(); ++i) insert(items.at(i));
+  }
 
   /// Aggregate all items inside `q`. Thread-safe.
   virtual Aggregate query(const QueryBox& q) const = 0;

@@ -60,26 +60,25 @@ class ShardTree final : public Shard {
 
   void insert(PointRef p) override {
     HilbertKey h;
-    const bool hil = hilbert();
-    if (hil) h = schema_.hilbertKey(p.coords);
-
-    while (true) {
-      Node* n = lockRootExclusive();
-      if (isFull(*n)) {
-        splitRoot(n);  // unlocks n
-        continue;
-      }
-      descendInsert(n, p, h);
-      break;
-    }
+    if (hilbert()) h = schema_.hilbertKey(p.coords);
+    insertOne(p, h);
     updateBounds(p);
     size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void bulkInsert(const PointSet& items) override {
+    if (items.empty()) return;
+    if (hilbert() && size() == 0) {
+      bulkLoad(items);  // empty tree: the packed bottom-up build is faster
+      return;
+    }
+    bulkInsertSorted(items);
   }
 
   void bulkLoad(const PointSet& items) override {
     if (items.empty()) return;
     if (!hilbert() || size() != 0) {
-      for (std::size_t i = 0; i < items.size(); ++i) insert(items.at(i));
+      bulkInsertSorted(items);
       return;
     }
     // Hilbert-sorted bottom-up packing: the bulk-ingestion path behind the
@@ -87,8 +86,8 @@ class ShardTree final : public Shard {
     // no concurrent inserts (enforced by holding the root lock).
     Node* oldRoot = lockRootExclusive();
     if (!oldRoot->leaf || leafCount(*oldRoot) != 0) {
-      oldRoot->lock.unlock();  // data raced in; fall back to point inserts
-      for (std::size_t i = 0; i < items.size(); ++i) insert(items.at(i));
+      oldRoot->lock.unlock();  // data raced in; fall back to batch inserts
+      bulkInsertSorted(items);
       return;
     }
     Node* newRoot = buildPacked(items);
@@ -254,6 +253,52 @@ class ShardTree final : public Shard {
   }
 
   // ---- insert path -------------------------------------------------------
+
+  /// One tree descent (no bounds/size bookkeeping — callers batch that).
+  void insertOne(PointRef p, const HilbertKey& h) {
+    while (true) {
+      Node* n = lockRootExclusive();
+      if (isFull(*n)) {
+        splitRoot(n);  // unlocks n
+        continue;
+      }
+      descendInsert(n, p, h);
+      break;
+    }
+  }
+
+  /// Batch insert into a live tree: presort the batch by Hilbert key so
+  /// sibling items descend to adjacent leaves back-to-back (warm node path,
+  /// in-order leaf appends), and fold the bounds/size updates so
+  /// boundsLock_ is taken once per batch rather than once per item.
+  /// Concurrent queries and point inserts stay safe — each descent uses the
+  /// same hand-over-hand locking as insert().
+  void bulkInsertSorted(const PointSet& items) {
+    const std::size_t n = items.size();
+    if (n == 0) return;
+    std::vector<HilbertKey> keys;
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    if (hilbert()) {
+      keys.resize(n);
+      for (std::size_t i = 0; i < n; ++i)
+        keys[i] = schema_.hilbertKey(items.at(i).coords);
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return keys[a] < keys[b];
+                });
+    }
+    MdsKey batchBounds;
+    for (std::uint32_t idx : order) {
+      const PointRef p = items.at(idx);
+      insertOne(p, hilbert() ? keys[idx] : HilbertKey{});
+      batchBounds.expand(schema_, p);
+    }
+    boundsLock_.lock();
+    bounds_.merge(schema_, batchBounds);
+    boundsLock_.unlock();
+    size_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// n is locked exclusive and not full; consumes the lock.
   void descendInsert(Node* n, PointRef p, const HilbertKey& h) {

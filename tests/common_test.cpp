@@ -361,6 +361,36 @@ TEST(DurableLog, CheckpointTruncatesWalAndRespectsFencing) {
   EXPECT_EQ(log.fence(7)->checkpoint.size(), 3u);
 }
 
+// The regression behind this: a worker applies a batch, the ack is lost,
+// a periodic checkpoint truncates the WAL, then the shard migrates. The
+// new owner must still know the batch's (from, corr) — otherwise the
+// sender's retransmission (routed to the new owner) re-applies every item.
+TEST(DurableLog, CheckpointFoldsDedupIdentitiesIntoAppliedIndex) {
+  DurableLog log;
+  WalRecord r1 = rec("s", 1);
+  r1.items = {9, 9};  // data is covered by the checkpoint blob...
+  EXPECT_TRUE(log.append(7, 0, std::move(r1)));
+  EXPECT_TRUE(log.saveCheckpoint(7, 0, /*owner=*/3, Blob{1}));
+  EXPECT_EQ(log.walEntries(7), 0u);
+
+  // ...so the folded identity keeps only the dedup/ack fields.
+  EXPECT_TRUE(log.append(7, 0, rec("s", 2)));
+  const auto tail = log.dedupTail(7);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].corr, 1u);
+  EXPECT_TRUE(tail[0].items.empty());
+  EXPECT_EQ(tail[1].corr, 2u);
+
+  // The fence snapshot carries the applied index too, so crash recovery
+  // seeds pre-checkpoint corrs just like a migration install does.
+  const auto snap = log.fence(7);
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_EQ(snap->applied.size(), 1u);
+  EXPECT_EQ(snap->applied[0].corr, 1u);
+  ASSERT_EQ(snap->wal.size(), 1u);
+  EXPECT_EQ(snap->wal[0].corr, 2u);
+}
+
 TEST(DurableLog, RollbackErasesExactlyOneAttempt) {
   DurableLog log;
   EXPECT_TRUE(log.append(7, 0, rec("a", 1)));
