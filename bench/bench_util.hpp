@@ -114,9 +114,12 @@ class BenchJson {
     metrics_.emplace_back(key, value);
   }
 
-  /// Standard latency triple from a histogram, in milliseconds.
+  /// Standard latency percentiles from a histogram, in milliseconds:
+  /// p50/p95/p99 plus the mean, so every BENCH_*.json carries the full
+  /// tail shape, not just the median.
   void latency(const std::string& prefix, const LatencyHistogram& h) {
     metric(prefix + "_p50_ms", static_cast<double>(h.quantileNanos(0.50)) / 1e6);
+    metric(prefix + "_p95_ms", static_cast<double>(h.quantileNanos(0.95)) / 1e6);
     metric(prefix + "_p99_ms", static_cast<double>(h.quantileNanos(0.99)) / 1e6);
     metric(prefix + "_mean_ms", h.meanNanos() / 1e6);
   }

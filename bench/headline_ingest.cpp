@@ -124,6 +124,10 @@ int main() {
                 static_cast<double>(qry) / sec / 1e3);
     json.metric("mixed_inserts_per_sec", static_cast<double>(ins) / sec);
     json.metric("mixed_queries_per_sec", static_cast<double>(qry) / sec);
+    // Client-observed mixed-stream latency percentiles: the trajectory
+    // tracks the tail, not just the rates.
+    json.latency("mixed_insert", client->insertLatency());
+    json.latency("mixed_query", client->queryLatency());
     if (std::getenv("VOLAP_BENCH_DEBUG") != nullptr) {
       std::printf("insert lat p50=%.3fms p99=%.3fms  query lat p50=%.3fms "
                   "p99=%.3fms\n",

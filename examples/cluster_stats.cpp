@@ -1,0 +1,131 @@
+// Cluster observability tour + CI schema guard: run a short mixed
+// insert/query workload with tracing on, scrape every node's metrics
+// registry over the kStats RPC, and print the cluster-wide view — per-hop
+// stage latencies, freshness lag, coalescing/retry/recovery counters, and
+// the slowest end-to-end traces with their hop breakdowns.
+//
+//   ./examples/cluster_stats [items] [--json]
+//
+// Exit status is the contract the CI stats leg enforces: nonzero if any
+// node fails to answer kStats, any required metric name is missing from a
+// scrape (schema drift), or the freshness-lag histogram stayed empty /
+// zero at p99 (tracing plumbing broke).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/stats.hpp"
+#include "olap/data_gen.hpp"
+#include "olap/query_gen.hpp"
+#include "volap/volap.hpp"
+
+int main(int argc, char** argv) {
+  using namespace volap;
+  std::size_t n = 5'000;
+  bool asJson = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0)
+      asJson = true;
+    else
+      n = std::strtoull(argv[i], nullptr, 10);
+  }
+
+  const Schema schema = Schema::tpcds();
+  ClusterOptions opts;
+  opts.servers = 2;
+  opts.workers = 3;
+  opts.traceSampleEveryN = 4;  // dense sampling: this run is short
+  VolapCluster cluster(schema, opts);
+
+  // Mixed workload: pipelined inserts with aggregate queries riding along,
+  // one client per server so every server's stage histograms fill up.
+  std::vector<std::unique_ptr<Client>> clients;
+  for (unsigned s = 0; s < cluster.serverCount(); ++s)
+    clients.push_back(
+        cluster.makeClient("stats-demo" + std::to_string(s), s, 128));
+  DataGenerator gen(schema, 7);
+  QueryGenerator qgen(schema, 8);
+  const PointSet sample = gen.generate(1'000);
+  std::size_t queries = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Client& c = *clients[i % clients.size()];
+    c.insertAsync(gen.next());
+    if (i % 50 == 49) {
+      c.queryAsync(qgen.random(sample));
+      ++queries;
+    }
+  }
+  std::uint64_t acked = 0, traced = 0;
+  for (auto& c : clients) {
+    c->drain();
+    acked += c->insertsAcked();
+    traced += c->tracesStarted();
+  }
+  std::printf("workload: %llu inserts acked, %llu queries, %llu traced\n\n",
+              static_cast<unsigned long long>(acked),
+              static_cast<unsigned long long>(queries),
+              static_cast<unsigned long long>(traced));
+
+  // Scrape every server, worker, and the manager in one sweep.
+  const auto endpoints = cluster.statsEndpoints();
+  const auto replies = scrapeStats(cluster.fabric(), endpoints);
+  int failures = 0;
+  if (replies.size() != endpoints.size()) {
+    std::fprintf(stderr, "FAIL: %zu/%zu nodes answered kStats\n",
+                 replies.size(), endpoints.size());
+    ++failures;
+  }
+
+  for (const auto& r : replies) {
+    if (asJson) {
+      std::printf("{\"node\":\"%s\",\"metrics\":%s}\n", r.node.c_str(),
+                  r.snapshot.toJson().c_str());
+    } else {
+      std::printf("=== %s ===\n%s", r.node.c_str(),
+                  r.snapshot.toText().c_str());
+      for (const auto& t : r.slowTraces) std::printf("  %s\n",
+                                                     t.toString().c_str());
+    }
+
+    // Schema guard: the required-name contract, per node role.
+    const std::vector<std::string>* required = nullptr;
+    if (r.node.rfind("server/", 0) == 0)
+      required = &requiredServerMetrics();
+    else if (r.node.rfind("worker/", 0) == 0)
+      required = &requiredWorkerMetrics();
+    if (required != nullptr) {
+      for (const auto& name : missingMetrics(r.snapshot, *required)) {
+        std::fprintf(stderr, "FAIL: %s missing required metric %s\n",
+                     r.node.c_str(), name.c_str());
+        ++failures;
+      }
+    }
+
+    // Liveness guard: on servers, freshness lag must have real samples —
+    // an empty or all-zero histogram means the trace plumbing broke even
+    // though the name survived.
+    if (r.node.rfind("server/", 0) == 0) {
+      const HistogramStats* lag =
+          r.snapshot.findHistogram("ingest.freshness_lag_ns");
+      if (lag == nullptr || lag->count == 0 || lag->p99 == 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s freshness-lag histogram empty (count=%llu "
+                     "p99=%llu)\n",
+                     r.node.c_str(),
+                     static_cast<unsigned long long>(lag ? lag->count : 0),
+                     static_cast<unsigned long long>(lag ? lag->p99 : 0));
+        ++failures;
+      }
+    }
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "\ncluster_stats: %d check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("\ncluster_stats: all nodes scraped, schema intact\n");
+  return 0;
+}

@@ -15,7 +15,9 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "cluster/stats.hpp"
 #include "olap/data_gen.hpp"
 #include "olap/query_parse.hpp"
 #include "volap/volap.hpp"
@@ -44,6 +46,8 @@ void printHelp() {
       "  q <query>         aggregate query, e.g. 'q Store=2 & Date=3/7'\n"
       "  schema            show dimension hierarchies\n"
       "  stats             session + server statistics\n"
+      "  scrape [node]     dump metrics from every node (or one endpoint)\n"
+      "  traces            slowest end-to-end traces, hop by hop\n"
       "  workers           per-worker item counts\n"
       "  addworker         add an empty worker (the balancer fills it)\n"
       "  help              this text\n"
@@ -126,6 +130,19 @@ int main() {
                         cluster.manager().splitsDone()),
                     static_cast<unsigned long long>(
                         cluster.manager().migrationsDone()));
+      } else if (cmd == "scrape") {
+        std::string node;
+        in >> node;
+        const auto endpoints =
+            node.empty() ? cluster.statsEndpoints()
+                         : std::vector<std::string>{node};
+        for (const auto& r : scrapeStats(cluster.fabric(), endpoints))
+          std::printf("=== %s ===\n%s", r.node.c_str(),
+                      r.snapshot.toText().c_str());
+      } else if (cmd == "traces") {
+        for (unsigned s = 0; s < cluster.serverCount(); ++s)
+          for (const auto& t : cluster.server(s).traceRing().slowest())
+            std::printf("server%u %s\n", s, t.toString().c_str());
       } else if (cmd == "workers") {
         const auto loads = cluster.workerLoads();
         for (std::size_t w = 0; w < loads.size(); ++w)

@@ -13,7 +13,8 @@ Client::Client(Fabric& fabric, std::string name, std::string serverEp,
       inbox_(fabric.bind("client/" + name)),
       maxOutstanding_(maxOutstanding == 0 ? 1 : maxOutstanding),
       retry_(retry),
-      rng_(0x636c69656e74ull ^ std::hash<std::string>{}(name)) {}
+      rng_(0x636c69656e74ull ^ std::hash<std::string>{}(name)),
+      nextTraceId_((std::hash<std::string>{}(name) << 20) | 1) {}
 
 std::uint64_t Client::submit(Op op, Blob payload) {
   const std::uint64_t corr = nextCorr_++;
@@ -21,7 +22,14 @@ std::uint64_t Client::submit(Op op, Blob payload) {
   // whole server/worker round trip before send() returns.
   const std::uint64_t t0 = nowNanos();
   const SharedBlob shared(std::move(payload));
-  if (!fabric_.send(serverEp_, makeMessage(op, corr, inbox_->name(), shared)))
+  Message msg = makeMessage(op, corr, inbox_->name(), shared);
+  if (traceEveryN_ != 0 && (op == Op::kInsert || op == Op::kQuery) &&
+      sampleTick_++ % traceEveryN_ == 0) {
+    msg.traceId = nextTraceId_++;
+    msg.hop(TraceStage::kClientSend, t0);
+    ++tracesStarted_;
+  }
+  if (!fabric_.send(serverEp_, std::move(msg)))
     return 0;  // endpoint gone; the caller's send counts as failed
   Outstanding o{op, t0, shared, 1, t0 + retryDelayNanos(retry_, 1, rng_)};
   nextDueNanos_ = std::min(nextDueNanos_, o.dueNanos);

@@ -32,6 +32,14 @@ class Client {
 
   const std::string& serverEndpointName() const { return serverEp_; }
 
+  /// Sample every Nth insert/query into a distributed trace (0 = off).
+  /// The sampled request carries a trace id + kClientSend stamp; servers
+  /// and workers append their own hop stamps as it travels (see
+  /// common/trace.hpp). Retransmissions never carry the trace — a trace
+  /// follows the first attempt only, so hop deltas stay meaningful.
+  void setTraceSampling(unsigned everyN) { traceEveryN_ = everyN; }
+  std::uint64_t tracesStarted() const { return tracesStarted_; }
+
   /// Pipelined insert: blocks only when the window is full.
   void insertAsync(PointRef p);
 
@@ -107,6 +115,10 @@ class Client {
   RetryPolicy retry_;
   Rng rng_;
   std::uint64_t nextCorr_ = 1;
+  unsigned traceEveryN_ = 0;
+  std::uint64_t sampleTick_ = 0;
+  std::uint64_t nextTraceId_;  // seeded per client name, never 0
+  std::uint64_t tracesStarted_ = 0;
   std::unordered_map<std::uint64_t, Outstanding> outstanding_;
   /// Earliest retry deadline across outstanding_ — min-updated on submit,
   /// recomputed by sweep(). May go stale-low when the earliest entry

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "cluster/stats.hpp"
 #include "common/clock.hpp"
 
 namespace volap {
@@ -16,7 +17,12 @@ Manager::Manager(Fabric& fabric, const Schema& schema, ManagerConfig cfg,
       inbox_(fabric.bind(managerEndpoint())),
       zk_(fabric, managerEndpoint()),
       nextShardId_(firstShardId),
-      enabled_(cfg.enabled) {
+      enabled_(cfg.enabled),
+      splits_(metrics_.counter("manager.splits")),
+      migrations_(metrics_.counter("manager.migrations")),
+      inFlight_(metrics_.gauge("manager.ops_in_flight")),
+      opsTimedOut_(metrics_.counter("manager.ops_timed_out")),
+      recoveries_(metrics_.counter("manager.recoveries")) {
   thread_ = std::thread([this] { serve(); });
 }
 
@@ -41,8 +47,8 @@ void Manager::serve() {
       // paused: a dead worker's shards are unreachable until re-hosted.
       if (cfg_.recoveryEnabled && durable_ != nullptr) superviseRecovery();
       if (enabled_.load(std::memory_order_relaxed) &&
-          inFlight_.load(std::memory_order_relaxed) <
-              cfg_.maxConcurrentOps) {
+          inFlight_.value() <
+              static_cast<std::int64_t>(cfg_.maxConcurrentOps)) {
         analyze();
       }
       nextTick = now + cfg_.periodNanos;
@@ -57,9 +63,18 @@ void Manager::serve() {
       case Op::kSplitDone: handleSplitDone(*m); break;
       case Op::kMigrateDone: handleMigrateDone(*m); break;
       case Op::kRecoverDone: handleRecoverDone(*m); break;
+      case Op::kStats: handleStats(*m); break;
       default: break;
     }
   }
+}
+
+void Manager::handleStats(const Message& m) {
+  StatsReply reply;
+  reply.node = managerEndpoint();
+  reply.snapshot = metrics_.snapshot();
+  fabric_.send(m.from, makeMessage(Op::kStatsReply, m.corr,
+                                   managerEndpoint(), reply.encode()));
 }
 
 void Manager::sweepLeases() {
@@ -79,10 +94,10 @@ void Manager::sweepLeases() {
       // and retries on a fresh target.
       pendingRecover_.erase(it->second.shard);
     } else {
-      inFlight_.fetch_sub(1);
+      inFlight_.add(-1);
     }
     it = pendingOps_.erase(it);
-    opsTimedOut_.fetch_add(1);
+    opsTimedOut_.inc();
   }
 }
 
@@ -287,14 +302,14 @@ void Manager::startSplit(const ShardInfo& shard) {
   req.shard = shard.id;
   req.newShard = allocShardId();
   const std::uint64_t corr = nextCorr_++;
-  inFlight_.fetch_add(1);
+  inFlight_.add(1);
   pendingOps_[corr] = {PendingOp::Kind::kSplit,
                        nowNanos() + cfg_.opLeaseNanos, shard.id};
   if (!fabric_.send(workerEndpoint(shard.worker),
                     makeMessage(Op::kSplitShard, corr, managerEndpoint(),
                                 req.encode()))) {
     pendingOps_.erase(corr);
-    inFlight_.fetch_sub(1);
+    inFlight_.add(-1);
   }
 }
 
@@ -303,14 +318,14 @@ void Manager::startMigrate(const ShardInfo& shard, WorkerId dest) {
   req.shard = shard.id;
   req.dest = dest;
   const std::uint64_t corr = nextCorr_++;
-  inFlight_.fetch_add(1);
+  inFlight_.add(1);
   pendingOps_[corr] = {PendingOp::Kind::kMigrate,
                        nowNanos() + cfg_.opLeaseNanos, shard.id};
   if (!fabric_.send(workerEndpoint(shard.worker),
                     makeMessage(Op::kMigrateShard, corr, managerEndpoint(),
                                 req.encode()))) {
     pendingOps_.erase(corr);
-    inFlight_.fetch_sub(1);
+    inFlight_.add(-1);
   }
 }
 
@@ -339,7 +354,7 @@ void Manager::handleSplitDone(const Message& m) {
   if (it == pendingOps_.end() || it->second.kind != PendingOp::Kind::kSplit)
     return;  // lease expired, duplicate Done, or mismatched op kind
   pendingOps_.erase(it);
-  inFlight_.fetch_sub(1);
+  inFlight_.add(-1);
   const SplitDone done = SplitDone::decode(m.payload);
   if (!done.ok) return;
   // Publish the new shard and refresh the old one's stats; servers learn of
@@ -348,7 +363,7 @@ void Manager::handleSplitDone(const Message& m) {
   // besides relocation, see ShardInfo).
   writeShardInfo(done.right, /*relocate=*/true, /*takeCount=*/true);
   writeShardInfo(done.left, /*relocate=*/false, /*takeCount=*/true);
-  splits_.fetch_add(1);
+  splits_.inc();
 }
 
 void Manager::handleMigrateDone(const Message& m) {
@@ -356,14 +371,14 @@ void Manager::handleMigrateDone(const Message& m) {
   if (it == pendingOps_.end() || it->second.kind != PendingOp::Kind::kMigrate)
     return;  // lease expired, duplicate Done, or mismatched op kind
   pendingOps_.erase(it);
-  inFlight_.fetch_sub(1);
+  inFlight_.add(-1);
   const MigrateDone done = MigrateDone::decode(m.payload);
   if (!done.ok) return;
   ShardInfo info;
   info.id = done.shard;
   info.worker = done.dest;
   writeShardInfo(info, /*relocate=*/true, /*takeCount=*/false);
-  migrations_.fetch_add(1);
+  migrations_.inc();
 }
 
 void Manager::handleRecoverDone(const Message& m) {
@@ -387,7 +402,7 @@ void Manager::handleRecoverDone(const Message& m) {
   // owner's late acks — and the restored count. Servers pick the change up
   // through their /volap/shards watches, exactly like a migration.
   writeShardInfo(done.info, /*relocate=*/true, /*takeCount=*/true);
-  recoveries_.fetch_add(1);
+  recoveries_.inc();
 }
 
 }  // namespace volap

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "cluster/protocol.hpp"
+#include "common/metrics.hpp"
 #include "keeper/keeper.hpp"
 #include "net/fabric.hpp"
 
@@ -85,14 +86,20 @@ class Manager {
   /// Pause/resume balancing (the Fig. 6 experiment runs discrete phases).
   void setEnabled(bool on);
 
-  /// Lifetime counters for the Fig. 6 series.
-  std::uint64_t splitsDone() const { return splits_.load(); }
-  std::uint64_t migrationsDone() const { return migrations_.load(); }
-  std::uint64_t opsInFlight() const { return inFlight_.load(); }
+  /// Lifetime counters for the Fig. 6 series. Views over the manager's
+  /// metrics registry (the same numbers a kStats scrape returns).
+  std::uint64_t splitsDone() const { return splits_.value(); }
+  std::uint64_t migrationsDone() const { return migrations_.value(); }
+  std::uint64_t opsInFlight() const {
+    return static_cast<std::uint64_t>(inFlight_.value());
+  }
   /// Operations whose lease expired without a Done report.
-  std::uint64_t opsTimedOut() const { return opsTimedOut_.load(); }
+  std::uint64_t opsTimedOut() const { return opsTimedOut_.value(); }
   /// Shards successfully re-hosted off dead workers.
-  std::uint64_t recoveriesDone() const { return recoveries_.load(); }
+  std::uint64_t recoveriesDone() const { return recoveries_.value(); }
+
+  /// This manager's metrics registry (scraped via kStats).
+  MetricsRegistry& metrics() { return metrics_; }
 
   /// Allocate a fresh shard id (also used by the bootstrap path).
   ShardId allocShardId() { return nextShardId_.fetch_add(1); }
@@ -112,6 +119,7 @@ class Manager {
   };
 
   void serve();
+  void handleStats(const Message& m);
   void analyze();
   void sweepLeases();
   void superviseRecovery();
@@ -141,11 +149,13 @@ class Manager {
   std::atomic<ShardId> nextShardId_;
   std::atomic<bool> enabled_;
 
-  std::atomic<std::uint64_t> splits_{0};
-  std::atomic<std::uint64_t> migrations_{0};
-  std::atomic<std::uint64_t> inFlight_{0};
-  std::atomic<std::uint64_t> opsTimedOut_{0};
-  std::atomic<std::uint64_t> recoveries_{0};
+  // Registry-backed counters (handles created in the constructor).
+  MetricsRegistry metrics_;
+  Counter& splits_;
+  Counter& migrations_;
+  Gauge& inFlight_;
+  Counter& opsTimedOut_;
+  Counter& recoveries_;
   std::uint64_t nextCorr_ = 1;
   std::map<std::uint64_t, PendingOp> pendingOps_;  // serve thread only
   /// Shards with an outstanding kRecoverShard, mapped to the dead worker

@@ -48,6 +48,9 @@ enum class Op : std::uint16_t {
   kTransferAck = 0x261,
   kTransferItems = 0x262,  // shard id + queued items that arrived mid-move
   kTransferItemsAck = 0x263,  // echoes corr so the sender stops retrying
+  // Stats plane (any scraper -> any node; see cluster/stats.hpp).
+  kStats = 0x270,       // empty payload; reply-to taken from Message::from
+  kStatsReply = 0x271,  // StatsReply: node name + registry snapshot + traces
 };
 
 // ---- small payload helpers -------------------------------------------------

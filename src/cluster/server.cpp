@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "cluster/stats.hpp"
 #include "common/clock.hpp"
 
 namespace volap {
@@ -17,7 +18,69 @@ Server::Server(Fabric& fabric, const Schema& schema, ServerId id,
       zk_(fabric, serverEndpoint(id), serverEndpoint(id)),
       image_(schema, cfg.imageFanout),
       rng_(0x73727672ull ^ id),
+      insertsRouted_(metrics_.counter("server.inserts_routed")),
+      queriesRouted_(metrics_.counter("server.queries_routed")),
+      boxExpansions_(metrics_.counter("server.box_expansions")),
+      syncPushes_(metrics_.counter("server.sync_pushes")),
+      watchEvents_(metrics_.counter("server.watch_events")),
+      chases_(metrics_.counter("server.chases")),
+      workerRetries_(metrics_.counter("server.worker_retries")),
+      insertsDropped_(metrics_.counter("server.inserts_dropped")),
+      partialQueries_(metrics_.counter("server.partial_queries")),
+      repliesReplayed_(metrics_.counter("server.replies_replayed")),
+      dupRequests_(metrics_.counter("server.dup_requests")),
+      staleEpochAcks_(metrics_.counter("server.stale_epoch_acks")),
+      snapshotHits_(metrics_.counter("server.snapshot_hits")),
+      snapshotMisses_(metrics_.counter("server.snapshot_misses")),
+      coalescedBatches_(metrics_.counter("server.coalesce.batches")),
+      coalescedItems_(metrics_.counter("server.coalesce.items")),
+      coalesceSizeFlushes_(metrics_.counter("server.coalesce.size_flushes")),
+      coalesceDeadlineFlushes_(
+          metrics_.counter("server.coalesce.deadline_flushes")),
+      coalesceEagerFlushes_(metrics_.counter("server.coalesce.eager_flushes")),
+      lanesThrottled_(metrics_.counter("server.coalesce.throttled")),
+      ingestRouteNs_(metrics_.histogram("trace.ingest.route_ns")),
+      ingestLaneDwellNs_(metrics_.histogram("trace.ingest.lane_dwell_ns")),
+      ingestWalNs_(metrics_.histogram("trace.ingest.wal_ns")),
+      ingestApplyNs_(metrics_.histogram("trace.ingest.apply_ns")),
+      ingestTotalNs_(metrics_.histogram("trace.ingest.total_ns")),
+      freshnessLagNs_(metrics_.histogram("ingest.freshness_lag_ns")),
+      queryScanNs_(metrics_.histogram("trace.query.scan_ns")),
+      queryTotalNs_(metrics_.histogram("trace.query.total_ns")),
       pool_(cfg.threads) {
+  // Pull gauges: evaluated only at snapshot/scrape time, under the same
+  // locks stats() takes. Registered before the serve thread starts, so no
+  // registration ever races the data path.
+  metrics_.gaugeFn("server.pending_inserts", [this] {
+    std::lock_guard lock(pendingMu_);
+    return static_cast<std::int64_t>(pendingInserts_.size());
+  });
+  metrics_.gaugeFn("server.pending_queries", [this] {
+    std::lock_guard lock(pendingMu_);
+    return static_cast<std::int64_t>(pendingQueries_.size());
+  });
+  metrics_.gaugeFn("server.pending_bulks", [this] {
+    std::lock_guard lock(pendingMu_);
+    return static_cast<std::int64_t>(pendingBulks_.size());
+  });
+  metrics_.gaugeFn("server.retry_entries", [this] {
+    std::lock_guard lock(pendingMu_);
+    return static_cast<std::int64_t>(retries_.size());
+  });
+  metrics_.gaugeFn("server.pending_coalesced", [this] {
+    std::lock_guard lock(pendingMu_);
+    return static_cast<std::int64_t>(pendingCoalesced_.size());
+  });
+  metrics_.gaugeFn("server.coalesce.buffered", [this] {
+    std::lock_guard lock(coalesceMu_);
+    std::int64_t n = 0;
+    for (const auto& [shard, lane] : lanes_) n += lane.buf.size();
+    return n;
+  });
+  metrics_.gaugeFn("server.known_shards", [this] {
+    return static_cast<std::int64_t>(
+        knownShards_.load(std::memory_order_relaxed));
+  });
   thread_ = std::thread([this] { serve(); });
 }
 
@@ -29,27 +92,30 @@ void Server::stop() {
 }
 
 Server::Stats Server::stats() const {
+  // The struct is a registry view: every number here is a Counter handle's
+  // value (tests and benches keep their field access; the kStats scrape
+  // reads the same counters by name).
   Stats s;
-  s.insertsRouted = insertsRouted_.load();
-  s.queriesRouted = queriesRouted_.load();
-  s.boxExpansions = boxExpansions_.load();
-  s.syncPushes = syncPushes_.load();
-  s.watchEvents = watchEvents_.load();
-  s.chases = chases_.load();
-  s.workerRetries = workerRetries_.load();
-  s.insertsDropped = insertsDropped_.load();
-  s.partialQueries = partialQueries_.load();
-  s.repliesReplayed = repliesReplayed_.load();
-  s.dupRequests = dupRequests_.load();
-  s.staleEpochAcks = staleEpochAcks_.load();
-  s.snapshotHits = snapshotHits_.load();
-  s.snapshotMisses = snapshotMisses_.load();
-  s.coalescedBatches = coalescedBatches_.load();
-  s.coalescedItems = coalescedItems_.load();
-  s.coalesceSizeFlushes = coalesceSizeFlushes_.load();
-  s.coalesceDeadlineFlushes = coalesceDeadlineFlushes_.load();
-  s.coalesceEagerFlushes = coalesceEagerFlushes_.load();
-  s.lanesThrottled = lanesThrottled_.load();
+  s.insertsRouted = insertsRouted_.value();
+  s.queriesRouted = queriesRouted_.value();
+  s.boxExpansions = boxExpansions_.value();
+  s.syncPushes = syncPushes_.value();
+  s.watchEvents = watchEvents_.value();
+  s.chases = chases_.value();
+  s.workerRetries = workerRetries_.value();
+  s.insertsDropped = insertsDropped_.value();
+  s.partialQueries = partialQueries_.value();
+  s.repliesReplayed = repliesReplayed_.value();
+  s.dupRequests = dupRequests_.value();
+  s.staleEpochAcks = staleEpochAcks_.value();
+  s.snapshotHits = snapshotHits_.value();
+  s.snapshotMisses = snapshotMisses_.value();
+  s.coalescedBatches = coalescedBatches_.value();
+  s.coalescedItems = coalescedItems_.value();
+  s.coalesceSizeFlushes = coalesceSizeFlushes_.value();
+  s.coalesceDeadlineFlushes = coalesceDeadlineFlushes_.value();
+  s.coalesceEagerFlushes = coalesceEagerFlushes_.value();
+  s.lanesThrottled = lanesThrottled_.value();
   {
     std::lock_guard lock(pendingMu_);
     s.pendingInserts = pendingInserts_.size();
@@ -119,8 +185,37 @@ void Server::dispatch(const Message& m) {
     case Op::kWInsertAck: handleWorkerInsertAck(m); break;
     case Op::kWQueryReply: handleWorkerQueryReply(m); break;
     case Op::kWBulkAck: handleWorkerBulkAck(m); break;
+    case Op::kStats: handleStats(m); break;
     default: break;
   }
+}
+
+// ---- stats plane / tracing --------------------------------------------------
+
+void Server::handleStats(const Message& m) {
+  StatsReply reply;
+  reply.node = serverEndpoint(id_);
+  reply.snapshot = metrics_.snapshot();
+  reply.slowTraces = traceRing_.slowest();
+  fabric_.send(m.from, makeMessage(Op::kStatsReply, m.corr,
+                                   serverEndpoint(id_), reply.encode()));
+}
+
+void Server::recordIngestTrace(Trace t) {
+  t.hops.push_back(
+      {static_cast<std::uint16_t>(TraceStage::kServerAck), nowNanos()});
+  const std::uint64_t sent = t.at(TraceStage::kClientSend);
+  const std::uint64_t recv = t.at(TraceStage::kWorkerRecv);
+  const std::uint64_t wal = t.at(TraceStage::kWorkerWal);
+  const std::uint64_t applied = t.at(TraceStage::kWorkerApplied);
+  const std::uint64_t acked = t.at(TraceStage::kServerAck);
+  if (recv && wal >= recv) ingestWalNs_.record(wal - recv);
+  if (wal && applied >= wal) ingestApplyNs_.record(applied - wal);
+  if (sent) {
+    if (applied >= sent) freshnessLagNs_.record(applied - sent);
+    if (acked >= sent) ingestTotalNs_.record(acked - sent);
+  }
+  traceRing_.offer(std::move(t));
 }
 
 void Server::bootstrapImage() {
@@ -199,7 +294,7 @@ const Server::RouteSnapshot::Leaf* Server::snapshotRoute(
 }
 
 void Server::handleWatchEvent(const Message& m) {
-  watchEvents_.fetch_add(1, std::memory_order_relaxed);
+  watchEvents_.inc();
   ByteReader r(m.payload);
   WatchEvent e;
   try {
@@ -227,10 +322,10 @@ bool Server::dedupClientRequest(const Message& m) {
     if (const auto* ack = replay_.find(m.from, m.corr)) {
       replayOp = static_cast<Op>(ack->op);
       replayPayload = ack->payload;
-      repliesReplayed_.fetch_add(1, std::memory_order_relaxed);
+      repliesReplayed_.inc();
     } else if (!inFlightClient_.insert(clientKey(m.from, m.corr)).second) {
       // Still being processed: the reply will go out when it completes.
-      dupRequests_.fetch_add(1, std::memory_order_relaxed);
+      dupRequests_.inc();
       return true;
     } else {
       return false;
@@ -293,7 +388,7 @@ void Server::sweepRetries() {
           if (w != kNoWorker) rt.dest = workerEndpoint(w);
         }
         resend.push_back({rt.dest, rt.op, it->first, rt.payload});
-        workerRetries_.fetch_add(1, std::memory_order_relaxed);
+        workerRetries_.inc();
         minDue = std::min(minDue, rt.dueNanos);
         ++it;
         continue;
@@ -323,7 +418,7 @@ void Server::sweepRetries() {
             }
             pendingInserts_.erase(pit);
           }
-          insertsDropped_.fetch_add(1, std::memory_order_relaxed);
+          insertsDropped_.inc();
           break;
         }
         case Op::kWQuery: {
@@ -369,8 +464,7 @@ void Server::sweepRetries() {
                 }
               }
             }
-            insertsDropped_.fetch_add(dit->second.members.size(),
-                                      std::memory_order_relaxed);
+            insertsDropped_.inc(dit->second.members.size());
             releasedLanes.push_back(rt.shard);
             break;
           }
@@ -497,7 +591,17 @@ void Server::handleInsert(const Message& m) {
   if (resumeDroppedInsert(m)) return;
   ByteReader r(m.payload);
   const Point p = readPoint(r);
-  insertsRouted_.fetch_add(1, std::memory_order_relaxed);
+  insertsRouted_.inc();
+
+  // Sampled tracing: continue the hop chain the client started. Untraced
+  // requests (the overwhelming majority) skip every stamp.
+  Trace trace;
+  if (m.traced()) {
+    trace.id = m.traceId;
+    trace.hops = m.hops;
+    trace.hops.push_back(
+        {static_cast<std::uint16_t>(TraceStage::kServerRecv), nowNanos()});
+  }
 
   // Lock-free fast path: route against the immutable snapshot. Any leaf
   // whose box contains the point is a valid insert target; only a point no
@@ -508,11 +612,11 @@ void Server::handleInsert(const Message& m) {
     if (const RouteSnapshot::Leaf* leaf = snapshotRoute(*snap, p.ref())) {
       shard = leaf->shard;
       w = leaf->worker;
-      snapshotHits_.fetch_add(1, std::memory_order_relaxed);
+      snapshotHits_.inc();
     }
   }
   if (shard == 0) {
-    snapshotMisses_.fetch_add(1, std::memory_order_relaxed);
+    snapshotMisses_.inc();
     imageLock_.lock();  // routeInsert expands boxes: exclusive
     const LocalImage::Route route = image_.routeInsert(p.ref());
     shard = route.shard;
@@ -520,11 +624,18 @@ void Server::handleInsert(const Message& m) {
     rebuildSnapshotLocked();
     imageLock_.unlock();
     if (route.expanded)
-      boxExpansions_.fetch_add(1, std::memory_order_relaxed);
+      boxExpansions_.inc();
+  }
+  if (trace.id != 0) {
+    const std::uint64_t routed = nowNanos();
+    const std::uint64_t recv = trace.at(TraceStage::kServerRecv);
+    trace.hops.push_back(
+        {static_cast<std::uint16_t>(TraceStage::kServerRouted), routed});
+    if (routed >= recv) ingestRouteNs_.record(routed - recv);
   }
 
   if (cfg_.coalesce) {
-    coalesceInsert(m, p, shard);
+    coalesceInsert(m, p, shard, std::move(trace));
     return;
   }
 
@@ -544,13 +655,21 @@ void Server::handleInsert(const Message& m) {
   }
   // A failed send (worker not bound yet) is fine: the sweep retransmits,
   // and on a exhausted budget the unacked insert falls to the client retry.
-  fabric_.send(workerEndpoint(w), makeMessage(Op::kWInsert, corr,
-                                              serverEndpoint(id_), payload));
+  // Retransmissions deliberately do not carry the trace — a trace follows
+  // the first attempt only.
+  Message out =
+      makeMessage(Op::kWInsert, corr, serverEndpoint(id_), payload);
+  if (trace.id != 0) {
+    out.traceId = trace.id;
+    out.hops = std::move(trace.hops);
+  }
+  fabric_.send(workerEndpoint(w), std::move(out));
 }
 
 // ---- ingest coalescing ------------------------------------------------------
 
-void Server::coalesceInsert(const Message& m, const Point& p, ShardId shard) {
+void Server::coalesceInsert(const Message& m, const Point& p, ShardId shard,
+                            Trace trace) {
   bool flushNow = false;
   bool eager = false;
   {
@@ -561,6 +680,11 @@ void Server::coalesceInsert(const Message& m, const Point& p, ShardId shard) {
     if (lane.buf.size() == 0) lane.oldestNanos = nowNanos();
     lane.buf.push(p.ref());
     lane.members.push_back({m.from, m.corr});
+    if (trace.id != 0) {
+      trace.hops.push_back(
+          {static_cast<std::uint16_t>(TraceStage::kLaneEnqueue), nowNanos()});
+      lane.traces.push_back(std::move(trace));
+    }
     const unsigned cap = lane.slow ? 1u : cfg_.coalesceMaxInFlight;
     if (lane.inFlight < cap) {
       if (lane.buf.size() >= cfg_.coalesceMaxItems) {
@@ -576,7 +700,7 @@ void Server::coalesceInsert(const Message& m, const Point& p, ShardId shard) {
   }
   if (flushNow) {
     (eager ? coalesceEagerFlushes_ : coalesceSizeFlushes_)
-        .fetch_add(1, std::memory_order_relaxed);
+        .inc();
     flushLane(shard);
   }
 }
@@ -585,6 +709,7 @@ void Server::flushLane(ShardId shard) {
   ShardBatch req;
   req.shard = shard;
   std::vector<PendingInsert> members;
+  std::vector<Trace> traces;
   {
     std::lock_guard lock(coalesceMu_);
     auto it = lanes_.find(shard);
@@ -593,9 +718,24 @@ void Server::flushLane(ShardId shard) {
     if (lane.inFlight >= (lane.slow ? 1u : cfg_.coalesceMaxInFlight)) return;
     req.items = std::move(lane.buf);
     members = std::move(lane.members);
+    traces = std::move(lane.traces);
     lane.buf = PointSet(schema_.dims());
     lane.members.clear();
+    lane.traces.clear();
     ++lane.inFlight;
+  }
+  // Every traced member records its lane dwell; the first trace rides the
+  // batch so the worker can stamp the WAL/apply hops onto it.
+  Trace rider;
+  if (!traces.empty()) {
+    const std::uint64_t flushedAt = nowNanos();
+    for (auto& t : traces) {
+      const std::uint64_t enq = t.at(TraceStage::kLaneEnqueue);
+      if (enq && flushedAt >= enq) ingestLaneDwellNs_.record(flushedAt - enq);
+    }
+    rider = std::move(traces.front());
+    rider.hops.push_back(
+        {static_cast<std::uint16_t>(TraceStage::kLaneFlush), flushedAt});
   }
   // Encode and resolve the worker OUTSIDE the lane lock: serialization is
   // the expensive part, and the image lock must never nest inside it.
@@ -619,10 +759,14 @@ void Server::flushLane(ShardId shard) {
                      WireRetry{dest, Op::kWBulk, payload, 1, due, 0, shard});
     noteRetryDue(due);
   }
-  coalescedBatches_.fetch_add(1, std::memory_order_relaxed);
-  coalescedItems_.fetch_add(n, std::memory_order_relaxed);
-  fabric_.send(dest, makeMessage(Op::kWBulk, corr, serverEndpoint(id_),
-                                 payload));
+  coalescedBatches_.inc();
+  coalescedItems_.inc(n);
+  Message out = makeMessage(Op::kWBulk, corr, serverEndpoint(id_), payload);
+  if (rider.id != 0) {
+    out.traceId = rider.id;
+    out.hops = std::move(rider.hops);
+  }
+  fabric_.send(dest, std::move(out));
 }
 
 std::uint64_t Server::flushExpired(std::uint64_t now, std::uint64_t horizon) {
@@ -643,7 +787,7 @@ std::uint64_t Server::flushExpired(std::uint64_t now, std::uint64_t horizon) {
     }
   }
   for (ShardId shard : due) {
-    coalesceDeadlineFlushes_.fetch_add(1, std::memory_order_relaxed);
+    coalesceDeadlineFlushes_.inc();
     flushLane(shard);
   }
   return wake;
@@ -666,7 +810,7 @@ void Server::handleWorkerInsertAck(const Message& m) {
         imageLock_.unlock_shared();
       }
       if (info.epoch < imageEpoch) {
-        staleEpochAcks_.fetch_add(1, std::memory_order_relaxed);
+        staleEpochAcks_.inc();
         return;
       }
     } catch (const DeserializeError&) {
@@ -682,6 +826,7 @@ void Server::handleWorkerInsertAck(const Message& m) {
     pendingInserts_.erase(it);
     retries_.erase(m.corr);
   }
+  if (m.traced()) recordIngestTrace(Trace{m.traceId, m.hops});
   replyToClient(pi.clientEp, pi.clientCorr, Op::kInsertAck, {});
 }
 
@@ -691,7 +836,7 @@ void Server::handleQuery(const Message& m) {
   if (dedupClientRequest(m)) return;
   ByteReader r(m.payload);
   QueryBox box = QueryBox::deserialize(r);
-  queriesRouted_.fetch_add(1, std::memory_order_relaxed);
+  queriesRouted_.inc();
 
   std::vector<ShardId> ids;
   std::map<WorkerId, std::vector<ShardId>> byWorker;
@@ -713,9 +858,16 @@ void Server::handleQuery(const Message& m) {
   q->remaining = static_cast<unsigned>(byWorker.size());
   q->workersAsked = static_cast<std::uint32_t>(byWorker.size());
   q->queried.insert(ids.begin(), ids.end());
+  if (m.traced()) {
+    q->trace.id = m.traceId;
+    q->trace.hops = m.hops;
+    q->trace.hops.push_back(
+        {static_cast<std::uint16_t>(TraceStage::kServerRouted), nowNanos()});
+  }
   // Each chunk has its own correlation id, registered before its send, so
   // a reply racing back on another pool thread always finds the entry and
   // a duplicate reply misses the (already-erased) entry.
+  bool traceAttached = false;
   for (auto& [w, shardIds] : byWorker) {
     const auto nShards = static_cast<std::uint32_t>(shardIds.size());
     WQuery req;
@@ -732,9 +884,16 @@ void Server::handleQuery(const Message& m) {
                                        payload, 1, due, nShards});
       noteRetryDue(due);
     }
-    fabric_.send(workerEndpoint(w), makeMessage(Op::kWQuery, corr,
-                                                serverEndpoint(id_),
-                                                payload));
+    Message out =
+        makeMessage(Op::kWQuery, corr, serverEndpoint(id_), payload);
+    if (q->trace.id != 0 && !traceAttached) {
+      // The trace rides exactly one chunk; that worker's scan hops come
+      // back on its reply and are folded into the query's trace.
+      out.traceId = q->trace.id;
+      out.hops = q->trace.hops;
+      traceAttached = true;
+    }
+    fabric_.send(workerEndpoint(w), std::move(out));
   }
 }
 
@@ -774,7 +933,7 @@ void Server::chase(const std::shared_ptr<PendingQuery>& q, ShardId id,
                                    1, due, 1});
   noteRetryDue(due);
   ++q->remaining;
-  chases_.fetch_add(1, std::memory_order_relaxed);
+  chases_.inc();
   fabric_.send(workerEndpoint(dest),
                makeMessage(Op::kWQuery, corr, serverEndpoint(id_),
                            payload));
@@ -790,6 +949,19 @@ void Server::handleWorkerQueryReply(const Message& m) {
     q = it->second;
     pendingQueries_.erase(it);
     retries_.erase(m.corr);
+    if (m.traced() && q->trace.id == m.traceId) {
+      // Fold the worker-side hops into the query's trace (the echo also
+      // carries the client/server hops already present — skip those).
+      for (const auto& h : m.hops) {
+        const auto stage = static_cast<TraceStage>(h.stage);
+        if (stage == TraceStage::kWorkerRecv ||
+            stage == TraceStage::kWorkerScanned)
+          q->trace.hops.push_back(h);
+      }
+      const std::uint64_t recv = q->trace.at(TraceStage::kWorkerRecv);
+      const std::uint64_t scanned = q->trace.at(TraceStage::kWorkerScanned);
+      if (recv && scanned >= recv) queryScanNs_.record(scanned - recv);
+    }
     try {
       const WQueryReply reply = WQueryReply::decode(m.payload);
       q->agg.merge(reply.agg);
@@ -827,7 +999,17 @@ void Server::finishQuery(PendingQuery& q) {
   reply.workersAsked = q.workersAsked;
   reply.unreachableShards = q.unreachable;
   reply.partial = q.unreachable > 0;
-  if (reply.partial) partialQueries_.fetch_add(1, std::memory_order_relaxed);
+  if (reply.partial) partialQueries_.inc();
+  if (q.trace.id != 0) {
+    q.trace.hops.push_back(
+        {static_cast<std::uint16_t>(TraceStage::kServerMerged), nowNanos()});
+    const std::uint64_t start = q.trace.at(TraceStage::kClientSend)
+                                    ? q.trace.at(TraceStage::kClientSend)
+                                    : q.trace.at(TraceStage::kServerRouted);
+    const std::uint64_t merged = q.trace.at(TraceStage::kServerMerged);
+    if (start && merged >= start) queryTotalNs_.record(merged - start);
+    traceRing_.offer(std::move(q.trace));
+  }
   replyToClient(q.clientEp, q.clientCorr, Op::kQueryReply, reply.encode());
 }
 
@@ -837,7 +1019,7 @@ void Server::handleBulk(const Message& m) {
   if (dedupClientRequest(m)) return;
   ByteReader r(m.payload);
   PointSet items = PointSet::deserialize(r);
-  insertsRouted_.fetch_add(items.size(), std::memory_order_relaxed);
+  insertsRouted_.inc(items.size());
 
   std::map<ShardId, PointSet> byShard;
   std::map<ShardId, WorkerId> workers;
@@ -858,9 +1040,8 @@ void Server::handleBulk(const Message& m) {
       it->second.push(p);
       if (fresh) workers[leaf->shard] = leaf->worker;
     }
-    snapshotHits_.fetch_add(items.size() - missed.size(),
-                            std::memory_order_relaxed);
-    snapshotMisses_.fetch_add(missed.size(), std::memory_order_relaxed);
+    snapshotHits_.inc(items.size() - missed.size());
+    snapshotMisses_.inc(missed.size());
   } else {
     missed.resize(items.size());
     for (std::size_t i = 0; i < items.size(); ++i) missed[i] = i;
@@ -871,7 +1052,7 @@ void Server::handleBulk(const Message& m) {
       const PointRef p = items.at(i);
       const LocalImage::Route route = image_.routeInsert(p);
       if (route.expanded)
-        boxExpansions_.fetch_add(1, std::memory_order_relaxed);
+        boxExpansions_.inc();
       auto [it, fresh] =
           byShard.try_emplace(route.shard, PointSet(schema_.dims()));
       it->second.push(p);
@@ -935,6 +1116,7 @@ void Server::handleWorkerBulkAck(const Message& m) {
     }
   }
   if (coalesced) {
+    if (m.traced()) recordIngestTrace(Trace{m.traceId, m.hops});
     bool flushNext = false;
     {
       std::lock_guard lock(coalesceMu_);
@@ -946,7 +1128,7 @@ void Server::handleWorkerBulkAck(const Message& m) {
         lane.slow =
             decoded && ack.backlog >= cfg_.coalesceBacklogWatermark;
         if (lane.slow && !wasSlow)
-          lanesThrottled_.fetch_add(1, std::memory_order_relaxed);
+          lanesThrottled_.inc();
         // Ack-clocked release: the freed window slot immediately carries
         // whatever batched up behind it.
         flushNext = lane.buf.size() > 0 &&
@@ -957,7 +1139,7 @@ void Server::handleWorkerBulkAck(const Message& m) {
     for (const auto& pi : members)
       replyToClient(pi.clientEp, pi.clientCorr, Op::kInsertAck, {});
     if (flushNext) {
-      coalesceEagerFlushes_.fetch_add(1, std::memory_order_relaxed);
+      coalesceEagerFlushes_.inc();
       flushLane(laneShard);
     }
     return;
@@ -1028,7 +1210,7 @@ void Server::syncPush() {
       stored.serialize(w);
       pushed = zk_.set(shardPath(id), w.take(), cur->version).has_value();
     }
-    if (pushed) syncPushes_.fetch_add(1, std::memory_order_relaxed);
+    if (pushed) syncPushes_.inc();
   }
 }
 

@@ -27,10 +27,12 @@
 
 #include "cluster/local_image.hpp"
 #include "cluster/protocol.hpp"
+#include "common/metrics.hpp"
 #include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "common/rwspin.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "keeper/keeper.hpp"
 #include "net/fabric.hpp"
 
@@ -122,6 +124,12 @@ class Server {
     return knownShards_.load(std::memory_order_relaxed);
   }
 
+  /// This server's metrics registry (scraped via kStats; tests and the
+  /// example driver may also read it in-process).
+  MetricsRegistry& metrics() { return metrics_; }
+  /// The N slowest completed traces this server assembled.
+  const TraceRing& traceRing() const { return traceRing_; }
+
  private:
   struct PendingInsert {
     std::string clientEp;
@@ -141,6 +149,9 @@ class Server {
     std::uint32_t workersAsked = 0;
     std::uint32_t unreachable = 0;  // shards whose chunk exhausted retries
     std::unordered_set<ShardId> queried;
+    /// Sampled tracing: hops accumulate here (client, server, echoed worker
+    /// scan hops from the chunk that carried the trace); id 0 == untraced.
+    Trace trace;
   };
   struct PendingBulk {
     std::string clientEp;
@@ -205,6 +216,10 @@ class Server {
     std::uint64_t oldestNanos = 0;       // arrival time of buf's first item
     unsigned inFlight = 0;               // coalesced batches awaiting ack
     bool slow = false;                   // backpressure engaged
+    /// Traced members parked in the buffer (each ends with kLaneEnqueue).
+    /// On flush every one records lane dwell; the first rides the kWBulk
+    /// so its remaining hops are stamped worker-side.
+    std::vector<Trace> traces;
   };
   /// Pending state for one coalesced batch (the analogue of PendingInsert,
   /// fanned out): every member is acked when the single kWBulkAck lands.
@@ -228,6 +243,11 @@ class Server {
   void serve();
   void dispatch(const Message& m);
   void bootstrapImage();
+  void handleStats(const Message& m);
+  /// Finish a traced ingest request: append kServerAck, record the
+  /// per-stage histograms (route, lane dwell, WAL, apply, total) and the
+  /// freshness lag, and offer the trace to the slow ring.
+  void recordIngestTrace(Trace t);
   void handleInsert(const Message& m);
   void handleQuery(const Message& m);
   void handleBulk(const Message& m);
@@ -262,8 +282,10 @@ class Server {
   static const RouteSnapshot::Leaf* snapshotRoute(const RouteSnapshot& snap,
                                                   PointRef p);
   /// Buffer one client insert into its shard's lane; flushes eagerly when
-  /// the lane is idle and on the size threshold.
-  void coalesceInsert(const Message& m, const Point& p, ShardId shard);
+  /// the lane is idle and on the size threshold. `trace` (id 0 ==
+  /// untraced) is parked with the lane and completed when the batch acks.
+  void coalesceInsert(const Message& m, const Point& p, ShardId shard,
+                      Trace trace);
   /// Flush one lane's buffer as a kWBulk batch (no-op on an empty buffer).
   /// Never called with coalesceMu_ or pendingMu_ held.
   void flushLane(ShardId shard);
@@ -337,26 +359,43 @@ class Server {
   std::deque<std::uint64_t> droppedBatchOrder_;  // FIFO eviction
   Rng rng_;            // guarded by pendingMu_
 
-  std::atomic<std::uint64_t> insertsRouted_{0};
-  std::atomic<std::uint64_t> queriesRouted_{0};
-  std::atomic<std::uint64_t> boxExpansions_{0};
-  std::atomic<std::uint64_t> syncPushes_{0};
-  std::atomic<std::uint64_t> watchEvents_{0};
-  std::atomic<std::uint64_t> chases_{0};
-  std::atomic<std::uint64_t> workerRetries_{0};
-  std::atomic<std::uint64_t> insertsDropped_{0};
-  std::atomic<std::uint64_t> partialQueries_{0};
-  std::atomic<std::uint64_t> repliesReplayed_{0};
-  std::atomic<std::uint64_t> dupRequests_{0};
-  std::atomic<std::uint64_t> staleEpochAcks_{0};
-  std::atomic<std::uint64_t> snapshotHits_{0};
-  std::atomic<std::uint64_t> snapshotMisses_{0};
-  std::atomic<std::uint64_t> coalescedBatches_{0};
-  std::atomic<std::uint64_t> coalescedItems_{0};
-  std::atomic<std::uint64_t> coalesceSizeFlushes_{0};
-  std::atomic<std::uint64_t> coalesceDeadlineFlushes_{0};
-  std::atomic<std::uint64_t> coalesceEagerFlushes_{0};
-  std::atomic<std::uint64_t> lanesThrottled_{0};
+  // One registry backs every observable number on this server; the legacy
+  // Stats struct and the kStats scrape both read from it. Handles are
+  // created once, in the constructor init list, so the data path never
+  // touches the registry mutex — and gauge callbacks (registered there
+  // too) may take pendingMu_/coalesceMu_ at snapshot time without risking
+  // inversion.
+  MetricsRegistry metrics_;
+  Counter& insertsRouted_;
+  Counter& queriesRouted_;
+  Counter& boxExpansions_;
+  Counter& syncPushes_;
+  Counter& watchEvents_;
+  Counter& chases_;
+  Counter& workerRetries_;
+  Counter& insertsDropped_;
+  Counter& partialQueries_;
+  Counter& repliesReplayed_;
+  Counter& dupRequests_;
+  Counter& staleEpochAcks_;
+  Counter& snapshotHits_;
+  Counter& snapshotMisses_;
+  Counter& coalescedBatches_;
+  Counter& coalescedItems_;
+  Counter& coalesceSizeFlushes_;
+  Counter& coalesceDeadlineFlushes_;
+  Counter& coalesceEagerFlushes_;
+  Counter& lanesThrottled_;
+  // Per-stage trace histograms + freshness lag (see recordIngestTrace).
+  AtomicHistogram& ingestRouteNs_;
+  AtomicHistogram& ingestLaneDwellNs_;
+  AtomicHistogram& ingestWalNs_;
+  AtomicHistogram& ingestApplyNs_;
+  AtomicHistogram& ingestTotalNs_;
+  AtomicHistogram& freshnessLagNs_;
+  AtomicHistogram& queryScanNs_;
+  AtomicHistogram& queryTotalNs_;
+  TraceRing traceRing_;
   std::atomic<std::size_t> knownShards_{0};
 
   // Declared after every piece of state its tasks touch: the pool drains

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/stats.hpp"
 #include "common/clock.hpp"
 #include "tree/shard_tree.hpp"
 
@@ -37,6 +38,11 @@ void drainInserts(const std::atomic<std::uint32_t>& active) {
 /// WAL record for a batch of applied points. The stored ack lets the
 /// recovery target re-seed its replay cache so the sender's retransmissions
 /// are answered, not re-applied.
+/// Append a trace stamp to a worker-side hop list (echoed on the ack).
+void stamp(std::vector<TraceHop>& hops, TraceStage s, std::uint64_t nanos) {
+  hops.push_back({static_cast<std::uint16_t>(s), nanos});
+}
+
 WalRecord makeWalRecord(const Message& m, Op ackOp, const Blob& ackPayload,
                         const PointSet& items) {
   WalRecord rec;
@@ -64,7 +70,40 @@ Worker::Worker(Fabric& fabric, const Schema& schema, WorkerId id,
       inbox_(fabric.bind(workerEndpoint(id))),
       zk_(fabric, workerEndpoint(id)),
       rng_(0x776f726bull ^ id),
+      inserts_(metrics_.counter("worker.inserts_applied")),
+      queries_(metrics_.counter("worker.queries_served")),
+      dropped_(metrics_.counter("worker.items_dropped")),
+      rejectedBatches_(metrics_.counter("worker.batches_rejected")),
+      redelivered_(metrics_.counter("worker.redelivered")),
+      retriesSent_(metrics_.counter("worker.retries_sent")),
+      forwardsLost_(metrics_.counter("worker.forwards_lost")),
+      migrationsAborted_(metrics_.counter("worker.migrations_aborted")),
+      fencedOps_(metrics_.counter("worker.fenced_ops")),
+      fencedShards_(metrics_.counter("worker.fenced_shards")),
+      recovered_(metrics_.counter("worker.shards_recovered")),
+      checkpoints_(metrics_.counter("worker.checkpoints")),
+      walAppendNs_(metrics_.histogram("worker.wal_append_ns")),
+      batchApplyNs_(metrics_.histogram("worker.batch_apply_ns")),
+      queryScanNs_(metrics_.histogram("worker.query_scan_ns")),
       pool_(cfg.threads) {
+  // Pull gauges, evaluated only when the registry is scraped. Registered
+  // before the serve thread starts, so registration never races the data
+  // path (the registry mutex is only ever taken here and at snapshot()).
+  metrics_.gaugeFn("worker.items_held", [this] {
+    return static_cast<std::int64_t>(itemsHeld());
+  });
+  metrics_.gaugeFn("worker.shards", [this] {
+    return static_cast<std::int64_t>(shardCount());
+  });
+  metrics_.gaugeFn("worker.retry_entries", [this] {
+    return static_cast<std::int64_t>(retryEntries());
+  });
+  metrics_.gaugeFn("worker.group_commit_groups", [this] {
+    return static_cast<std::int64_t>(groupCommitGroups());
+  });
+  metrics_.gaugeFn("worker.group_commit_records", [this] {
+    return static_cast<std::int64_t>(groupCommitRecords());
+  });
   thread_ = std::thread([this] { serve(); });
 }
 
@@ -190,6 +229,9 @@ void Worker::serve() {
       case Op::kTransferAck:
         handleTransferAck(*m);
         break;
+      case Op::kStats:
+        handleStats(*m);
+        break;
       case Op::kWBulkAck:
       case Op::kTransferItemsAck: {
         // Ack for something this worker forwarded with its own retry state.
@@ -201,6 +243,16 @@ void Worker::serve() {
         break;  // keeper watch events etc.: workers ignore them
     }
   }
+}
+
+void Worker::handleStats(const Message& m) {
+  // Workers keep no trace ring: a worker sees single hops, not whole
+  // spans, so the slowest-trace view lives on the servers.
+  StatsReply reply;
+  reply.node = workerEndpoint(id_);
+  reply.snapshot = metrics_.snapshot();
+  fabric_.send(m.from, makeMessage(Op::kStatsReply, m.corr,
+                                   workerEndpoint(id_), reply.encode()));
 }
 
 // ---- redelivery dedup -------------------------------------------------------
@@ -216,27 +268,36 @@ bool Worker::beginRequest(const Message& m) {
     } else if (!inFlightMsgs_.insert(msgKey(m)).second) {
       // A twin of this request is mid-apply on another pool thread; drop
       // this copy — the sender's next retry hits the replay cache.
-      redelivered_.fetch_add(1, std::memory_order_relaxed);
+      redelivered_.inc();
       return false;
     } else {
       return true;
     }
   }
-  redelivered_.fetch_add(1, std::memory_order_relaxed);
+  redelivered_.inc();
   fabric_.send(m.from, makeMessage(replayOp, m.corr, workerEndpoint(id_),
                                    std::move(replayPayload)));
   return false;
 }
 
-void Worker::completeRequest(const Message& m, Op ackOp, Blob ackPayload) {
+void Worker::completeRequest(const Message& m, Op ackOp, Blob ackPayload,
+                             std::vector<TraceHop> hops) {
   {
     std::lock_guard lock(dedupMu_);
     inFlightMsgs_.erase(msgKey(m));
     replay_.remember(m.from, m.corr, static_cast<std::uint16_t>(ackOp),
                      ackPayload);
   }
-  fabric_.send(m.from, makeMessage(ackOp, m.corr, workerEndpoint(id_),
-                                   std::move(ackPayload)));
+  Message ack = makeMessage(ackOp, m.corr, workerEndpoint(id_),
+                            std::move(ackPayload));
+  if (m.traced()) {
+    // Echo the request's hop chain plus this worker's stamps, so the
+    // server assembles the full trace from the ack alone.
+    ack.traceId = m.traceId;
+    ack.hops = m.hops;
+    ack.hops.insert(ack.hops.end(), hops.begin(), hops.end());
+  }
+  fabric_.send(m.from, std::move(ack));
 }
 
 void Worker::abandonRequest(const Message& m) {
@@ -285,7 +346,7 @@ void Worker::sweepRetries() {
         rt.dueNanos =
             now + retryDelayNanos(cfg_.transferRetry, rt.attempts, rng_);
         resend.push_back({rt.dest, rt.op, it->first, rt.payload});
-        retriesSent_.fetch_add(1, std::memory_order_relaxed);
+        retriesSent_.inc();
         ++it;
         continue;
       }
@@ -295,7 +356,7 @@ void Worker::sweepRetries() {
         // A forwarded batch or migration-queue remnant is gone for good:
         // its items were already acked upstream (at-least-once), so all we
         // can do is count the loss.
-        forwardsLost_.fetch_add(1, std::memory_order_relaxed);
+        forwardsLost_.inc();
       }
       it = retryMap_.erase(it);
     }
@@ -332,7 +393,7 @@ void Worker::abortMigration(ShardId id) {
       slot->busy = false;
     }
   }
-  migrationsAborted_.fetch_add(1, std::memory_order_relaxed);
+  migrationsAborted_.inc();
   MigrateDone done{false, id, pm.dest};
   fabric_.send(pm.managerEp, makeMessage(Op::kMigrateDone, pm.managerCorr,
                                          workerEndpoint(id_),
@@ -357,9 +418,11 @@ bool pointInDomain(const Schema& schema, PointRef p) {
 
 void Worker::handleInsert(const Message& m) {
   if (!beginRequest(m)) return;
+  std::vector<TraceHop> hops;
+  if (m.traced()) stamp(hops, TraceStage::kWorkerRecv, nowNanos());
   const WInsert req = WInsert::decode(m.payload);
   if (!pointInDomain(schema_, req.point.ref())) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_.inc();
     completeRequest(m, Op::kWInsertAck, {});
     return;
   }
@@ -441,7 +504,7 @@ void Worker::handleInsert(const Message& m) {
     // were fenced out of it (or never owned it while someone else does).
     // Acking would claim an item that was never applied here, so stay
     // silent — the sender's retry re-resolves toward the live owner.
-    fencedOps_.fetch_add(1, std::memory_order_relaxed);
+    fencedOps_.inc();
     abandonRequest(m);
     return;
   }
@@ -457,27 +520,33 @@ void Worker::handleInsert(const Message& m) {
       // will dedup) this (from, corr) from the restored WAL.
       PointSet one(schema_.dims());
       one.push(req.point.ref());
+      const std::uint64_t walStart = nowNanos();
       if (!groupCommit_->commit(targetId, epoch,
                                 makeWalRecord(m, Op::kWInsertAck, ackPayload,
                                               one))) {
         active->fetch_sub(1, std::memory_order_acq_rel);
-        fencedOps_.fetch_add(1, std::memory_order_relaxed);
+        fencedOps_.inc();
         abandonRequest(m);
         fenceSlot(targetId);
         return;
       }
+      const std::uint64_t walDone = nowNanos();
+      walAppendNs_.record(walDone - walStart);
+      if (m.traced()) stamp(hops, TraceStage::kWorkerWal, walDone);
     }
     target->insert(req.point.ref());
     active->fetch_sub(1, std::memory_order_acq_rel);
-    inserts_.fetch_add(1, std::memory_order_relaxed);
-    completeRequest(m, Op::kWInsertAck, ackPayload);
+    inserts_.inc();
+    if (m.traced()) stamp(hops, TraceStage::kWorkerApplied, nowNanos());
+    completeRequest(m, Op::kWInsertAck, ackPayload, std::move(hops));
     return;
   }
-  if (unknown) dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (unknown) dropped_.inc();
   completeRequest(m, Op::kWInsertAck, {});
 }
 
 void Worker::handleQuery(const Message& m) {
+  const std::uint64_t recvNanos = nowNanos();
   const WQuery req = WQuery::decode(m.payload);
   std::vector<std::shared_ptr<Shard>> targets;
   WQueryReply reply;
@@ -540,11 +609,20 @@ void Worker::handleQuery(const Message& m) {
     for (const auto& shard : targets) reply.agg.merge(shard->query(req.box));
   }
   reply.searchedShards += static_cast<std::uint32_t>(targets.size());
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.inc();
+  const std::uint64_t scannedNanos = nowNanos();
+  queryScanNs_.record(scannedNanos - recvNanos);
   // Queries are read-only and their replies idempotent to merge exactly
   // because the server dedups by chunk corr — no replay cache needed.
-  fabric_.send(m.from, makeMessage(Op::kWQueryReply, m.corr,
-                                   workerEndpoint(id_), reply.encode()));
+  Message out = makeMessage(Op::kWQueryReply, m.corr, workerEndpoint(id_),
+                            reply.encode());
+  if (m.traced()) {
+    out.traceId = m.traceId;
+    out.hops = m.hops;
+    stamp(out.hops, TraceStage::kWorkerRecv, recvNanos);
+    stamp(out.hops, TraceStage::kWorkerScanned, scannedNanos);
+  }
+  fabric_.send(m.from, std::move(out));
 }
 
 void Worker::handleBulk(const Message& m) {
@@ -553,6 +631,8 @@ void Worker::handleBulk(const Message& m) {
                        : Op::kTransferItemsAck;
   const bool acked = m.corr != 0;
   if (acked && !beginRequest(m)) return;
+  std::vector<TraceHop> hops;
+  if (m.traced()) stamp(hops, TraceStage::kWorkerRecv, nowNanos());
   ShardBatch batch = ShardBatch::decode(m.payload);
   if (batch.items.dims() != schema_.dims()) {
     if (acked) abandonRequest(m);
@@ -564,8 +644,8 @@ void Worker::handleBulk(const Message& m) {
   if (poisoned) {
     // Poisoned batch: reject wholesale, never ack. Counted once, outside
     // the scan — the items once, the batch once.
-    dropped_.fetch_add(batch.items.size(), std::memory_order_relaxed);
-    rejectedBatches_.fetch_add(1, std::memory_order_relaxed);
+    dropped_.inc(batch.items.size());
+    rejectedBatches_.inc();
     if (acked) abandonRequest(m);
     return;
   }
@@ -602,7 +682,7 @@ void Worker::handleBulk(const Message& m) {
           fencedUnknown = true;
           break;
         }
-        dropped_.fetch_add(items.size(), std::memory_order_relaxed);
+        dropped_.inc(items.size());
         continue;
       }
       if (slot->movedTo != kNoWorker) {
@@ -668,7 +748,7 @@ void Worker::handleBulk(const Message& m) {
     // sender's retry re-resolves every member against fresh placement.
     for (const auto& t : targets)
       t.active->fetch_sub(1, std::memory_order_acq_rel);
-    fencedOps_.fetch_add(1, std::memory_order_relaxed);
+    fencedOps_.inc();
     if (acked) abandonRequest(m);
     return;
   }
@@ -696,6 +776,7 @@ void Worker::handleBulk(const Message& m) {
     // land and drop the whole batch unacked: the sender's retry
     // re-partitions against fresh placement.
     bool fenced = false;
+    const std::uint64_t walStart = nowNanos();
     for (const auto& t : targets) {
       if (!groupCommit_->commit(t.id, t.epoch,
                                 makeWalRecord(m, ackOp, ackPayload,
@@ -704,12 +785,15 @@ void Worker::handleBulk(const Message& m) {
         break;
       }
     }
+    const std::uint64_t walDone = nowNanos();
+    walAppendNs_.record(walDone - walStart);
+    if (!fenced && m.traced()) stamp(hops, TraceStage::kWorkerWal, walDone);
     if (fenced) {
       for (const auto& t : targets) {
         durable_->rollback(t.id, m.from, m.corr);
         t.active->fetch_sub(1, std::memory_order_acq_rel);
       }
-      fencedOps_.fetch_add(1, std::memory_order_relaxed);
+      fencedOps_.inc();
       if (acked) abandonRequest(m);
       std::vector<ShardId> shed;
       for (const auto& t : targets)
@@ -719,6 +803,7 @@ void Worker::handleBulk(const Message& m) {
     }
   }
   std::uint64_t applied = 0;
+  const std::uint64_t applyStart = nowNanos();
   for (auto& t : targets) {
     // Hilbert-presorted batch apply: sibling points share descent paths and
     // the bounds/size bookkeeping is amortized over the batch.
@@ -726,8 +811,11 @@ void Worker::handleBulk(const Message& m) {
     applied += t.items.size();
     t.active->fetch_sub(1, std::memory_order_acq_rel);
   }
-  inserts_.fetch_add(applied, std::memory_order_relaxed);
-  if (acked) completeRequest(m, ackOp, ackPayload);
+  const std::uint64_t applyDone = nowNanos();
+  if (!targets.empty()) batchApplyNs_.record(applyDone - applyStart);
+  inserts_.inc(applied);
+  if (m.traced()) stamp(hops, TraceStage::kWorkerApplied, applyDone);
+  if (acked) completeRequest(m, ackOp, ackPayload, std::move(hops));
 }
 
 // ---- control path -----------------------------------------------------------
@@ -931,7 +1019,7 @@ void Worker::handleTransferShard(const Message& m) {
     if (durable_ != nullptr &&
         !durable_->saveCheckpoint(xfer.shard, xfer.epoch, id_,
                                   Blob(m.payload))) {
-      fencedOps_.fetch_add(1, std::memory_order_relaxed);
+      fencedOps_.inc();
       return;
     }
     Slot slot;
@@ -1070,7 +1158,7 @@ void Worker::handleRecoverShard(const Message& m) {
     // Failure means the supervisor re-fenced (it gave up on us and moved
     // on): report failure so no stale Done wins over the newer recovery.
     if (durable_ != nullptr && !checkpointSlotLocked(req.shard, slot)) {
-      fencedOps_.fetch_add(1, std::memory_order_relaxed);
+      fencedOps_.inc();
       report();  // ok = false
       return;
     }
@@ -1079,7 +1167,7 @@ void Worker::handleRecoverShard(const Message& m) {
     slots_[req.shard] = std::move(slot);
   }
   done.ok = true;
-  recovered_.fetch_add(1, std::memory_order_relaxed);
+  recovered_.inc();
   report();
 }
 
@@ -1091,7 +1179,7 @@ bool Worker::checkpointSlotLocked(ShardId id, const Slot& slot) {
   ckpt.splits = slot.splits;
   if (!durable_->saveCheckpoint(id, slot.epoch, id_, ckpt.encode()))
     return false;
-  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  checkpoints_.inc();
   return true;
 }
 
@@ -1134,7 +1222,7 @@ void Worker::fenceSlot(ShardId id) {
       pendingMigrations_.erase(id);
     }
   }
-  if (!wasBusy) fencedShards_.fetch_add(1, std::memory_order_relaxed);
+  if (!wasBusy) fencedShards_.inc();
 }
 
 // ---- statistics -------------------------------------------------------------

@@ -34,6 +34,7 @@
 #include "cluster/protocol.hpp"
 #include "cluster/types.hpp"
 #include "common/group_commit.hpp"
+#include "common/metrics.hpp"
 #include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -75,35 +76,39 @@ class Worker {
 
   WorkerId id() const { return id_; }
 
-  /// Aggregate counters for diagnostics and benches.
-  std::uint64_t insertsApplied() const { return inserts_.load(); }
-  std::uint64_t queriesServed() const { return queries_.load(); }
+  /// Aggregate counters for diagnostics and benches. All are views over
+  /// the worker's metrics registry (same numbers a kStats scrape returns).
+  std::uint64_t insertsApplied() const { return inserts_.value(); }
+  std::uint64_t queriesServed() const { return queries_.value(); }
   /// Items addressed to a shard this worker has never heard of — always 0
   /// in a healthy cluster; tests assert on it.
-  std::uint64_t itemsDropped() const { return dropped_.load(); }
+  std::uint64_t itemsDropped() const { return dropped_.value(); }
   /// Whole batches refused because they carried out-of-domain points.
-  std::uint64_t batchesRejected() const { return rejectedBatches_.load(); }
+  std::uint64_t batchesRejected() const { return rejectedBatches_.value(); }
   std::uint64_t itemsHeld() const;
   std::size_t shardCount() const;
 
   // Fault-tolerance counters.
-  std::uint64_t redelivered() const { return redelivered_.load(); }
-  std::uint64_t retriesSent() const { return retriesSent_.load(); }
-  std::uint64_t forwardsLost() const { return forwardsLost_.load(); }
+  std::uint64_t redelivered() const { return redelivered_.value(); }
+  std::uint64_t retriesSent() const { return retriesSent_.value(); }
+  std::uint64_t forwardsLost() const { return forwardsLost_.value(); }
   std::uint64_t migrationsAborted() const {
-    return migrationsAborted_.load();
+    return migrationsAborted_.value();
   }
   std::size_t retryEntries() const;
 
   // Durability / recovery counters.
   /// Requests refused because the durable store was sealed under this
   /// worker (a fenced zombie cannot ack).
-  std::uint64_t fencedOps() const { return fencedOps_.load(); }
+  std::uint64_t fencedOps() const { return fencedOps_.value(); }
   /// Slots shed after discovering a newer epoch (fenced out).
-  std::uint64_t fencedShards() const { return fencedShards_.load(); }
+  std::uint64_t fencedShards() const { return fencedShards_.value(); }
   /// Shards restored onto this worker via kRecoverShard.
-  std::uint64_t shardsRecovered() const { return recovered_.load(); }
-  std::uint64_t checkpointsTaken() const { return checkpoints_.load(); }
+  std::uint64_t shardsRecovered() const { return recovered_.value(); }
+  std::uint64_t checkpointsTaken() const { return checkpoints_.value(); }
+
+  /// This worker's metrics registry (scraped via kStats).
+  MetricsRegistry& metrics() { return metrics_; }
   /// Group-commit batching diagnostics: appendGroup calls / records they
   /// carried. records/groups > 1 means WAL lock acquisitions were folded.
   std::uint64_t groupCommitGroups() const {
@@ -155,6 +160,7 @@ class Worker {
   };
 
   void serve();
+  void handleStats(const Message& m);
   void handleInsert(const Message& m);
   void handleQuery(const Message& m);
   void handleBulk(const Message& m);
@@ -182,7 +188,12 @@ class Worker {
   /// being processed by another thread (drop — the sender retries).
   bool beginRequest(const Message& m);
   /// Remember the ack for future redeliveries, then send it to m.from.
-  void completeRequest(const Message& m, Op ackOp, Blob ackPayload);
+  /// For traced requests, `hops` are the worker-side stamps appended after
+  /// the request's own hops; the ack echoes the full chain so the server
+  /// can assemble the trace. (Replayed acks drop the trace — a trace
+  /// follows the first successful attempt only.)
+  void completeRequest(const Message& m, Op ackOp, Blob ackPayload,
+                       std::vector<TraceHop> hops = {});
   /// Forwarded elsewhere or intentionally unacked: forget the in-flight
   /// marker so a retransmission is processed (e.g. re-forwarded) again.
   void abandonRequest(const Message& m);
@@ -229,18 +240,27 @@ class Worker {
   Rng rng_;  // guarded by retryMu_
   std::atomic<std::uint64_t> nextCorr_{1};
 
-  std::atomic<std::uint64_t> inserts_{0};
-  std::atomic<std::uint64_t> queries_{0};
-  std::atomic<std::uint64_t> dropped_{0};
-  std::atomic<std::uint64_t> rejectedBatches_{0};
-  std::atomic<std::uint64_t> redelivered_{0};
-  std::atomic<std::uint64_t> retriesSent_{0};
-  std::atomic<std::uint64_t> forwardsLost_{0};
-  std::atomic<std::uint64_t> migrationsAborted_{0};
-  std::atomic<std::uint64_t> fencedOps_{0};
-  std::atomic<std::uint64_t> fencedShards_{0};
-  std::atomic<std::uint64_t> recovered_{0};
-  std::atomic<std::uint64_t> checkpoints_{0};
+  // One registry backs every observable number on this worker; the legacy
+  // accessors and the kStats scrape read the same handles. Created in the
+  // constructor init list — the data path never touches the registry mutex.
+  MetricsRegistry metrics_;
+  Counter& inserts_;
+  Counter& queries_;
+  Counter& dropped_;
+  Counter& rejectedBatches_;
+  Counter& redelivered_;
+  Counter& retriesSent_;
+  Counter& forwardsLost_;
+  Counter& migrationsAborted_;
+  Counter& fencedOps_;
+  Counter& fencedShards_;
+  Counter& recovered_;
+  Counter& checkpoints_;
+  /// Stage timings, recorded per request/batch (not per item, so the
+  /// ingest hot path pays clock reads only at batch granularity).
+  AtomicHistogram& walAppendNs_;
+  AtomicHistogram& batchApplyNs_;
+  AtomicHistogram& queryScanNs_;
   std::atomic<bool> crashed_{false};
 
   // Declared after every piece of state its tasks touch: the pool drains

@@ -74,7 +74,8 @@ class LatencyHistogram {
     max_ = 0;
   }
 
- private:
+  // Bucket geometry, shared with the lock-light AtomicHistogram in
+  // metrics.hpp (same indices, so their snapshots merge loss-free).
   static int bucketFor(std::uint64_t v) {
     if (v < kSubBuckets) return static_cast<int>(v);
     const int exp = 63 - static_cast<int>(__builtin_clzll(v));
@@ -98,6 +99,7 @@ class LatencyHistogram {
     return bucketLower(idx) + (std::uint64_t{1} << (exp - 4)) - 1;
   }
 
+ private:
   std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t total_ = 0;
   std::uint64_t sum_ = 0;

@@ -1,0 +1,162 @@
+// Per-hop request tracing. A sampled request (1 in traceEveryN) carries a
+// trace id plus an append-only list of (stage, timestamp) hops on the
+// Message envelope: client stamps kClientSend, the server stamps routing
+// and coalesce-lane dwell, the worker stamps WAL append / tree apply /
+// scan, and hops are echoed back on the ack so the node that completes the
+// request can record per-stage latency histograms and keep a ring of the
+// N slowest traces with their full hop breakdowns.
+//
+// All timestamps come from the process-wide steady clock (nowNanos()), and
+// every node here lives in one process, so cross-hop deltas are directly
+// comparable — no clock-skew correction needed (unlike a real deployment).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace volap {
+
+/// Stages a traced request can pass through. Values are wire format — append
+/// only, never renumber.
+enum class TraceStage : std::uint16_t {
+  kClientSend = 0,   // client stamped the request
+  kServerRecv = 1,   // server event loop picked it up
+  kServerRouted = 2, // routing decision made (snapshot or exclusive path)
+  kLaneEnqueue = 3,  // insert parked in a coalescing lane
+  kLaneFlush = 4,    // lane flushed; request left the server as kWBulk
+  kWorkerRecv = 5,   // worker picked the request up
+  kWorkerWal = 6,    // WAL append durable
+  kWorkerApplied = 7,  // visible to queries (apply precedes ack)
+  kWorkerScanned = 8,  // shard scan(s) finished
+  kServerAck = 9,    // server observed the worker ack
+  kServerMerged = 10,  // query merge complete, reply sent to client
+};
+
+inline const char* traceStageName(TraceStage s) {
+  switch (s) {
+    case TraceStage::kClientSend: return "client_send";
+    case TraceStage::kServerRecv: return "server_recv";
+    case TraceStage::kServerRouted: return "server_routed";
+    case TraceStage::kLaneEnqueue: return "lane_enqueue";
+    case TraceStage::kLaneFlush: return "lane_flush";
+    case TraceStage::kWorkerRecv: return "worker_recv";
+    case TraceStage::kWorkerWal: return "worker_wal";
+    case TraceStage::kWorkerApplied: return "worker_applied";
+    case TraceStage::kWorkerScanned: return "worker_scanned";
+    case TraceStage::kServerAck: return "server_ack";
+    case TraceStage::kServerMerged: return "server_merged";
+  }
+  return "unknown";
+}
+
+struct TraceHop {
+  std::uint16_t stage = 0;  // TraceStage
+  std::uint64_t nanos = 0;  // steady-clock timestamp
+};
+
+/// A completed trace as assembled by the node that observed the final hop.
+struct Trace {
+  std::uint64_t id = 0;
+  std::vector<TraceHop> hops;
+
+  /// Timestamp of the first occurrence of `stage`, or 0 if absent.
+  std::uint64_t at(TraceStage stage) const {
+    for (const auto& h : hops)
+      if (h.stage == static_cast<std::uint16_t>(stage)) return h.nanos;
+    return 0;
+  }
+
+  /// End-to-end span (max hop - min hop); 0 if fewer than two hops.
+  std::uint64_t totalNanos() const {
+    if (hops.size() < 2) return 0;
+    std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+    for (const auto& h : hops) {
+      lo = std::min(lo, h.nanos);
+      hi = std::max(hi, h.nanos);
+    }
+    return hi - lo;
+  }
+
+  std::string toString() const {
+    std::string out = "trace " + std::to_string(id) + " total " +
+                      std::to_string(totalNanos()) + "ns:";
+    const std::uint64_t base = hops.empty() ? 0 : hops.front().nanos;
+    for (const auto& h : hops) {
+      out += " ";
+      out += traceStageName(static_cast<TraceStage>(h.stage));
+      out += "+" + std::to_string(h.nanos - base) + "ns";
+    }
+    return out;
+  }
+
+  void serialize(ByteWriter& w) const {
+    w.u64(id);
+    w.varint(hops.size());
+    for (const auto& h : hops) {
+      w.u16(h.stage);
+      w.u64(h.nanos);
+    }
+  }
+  static Trace deserialize(ByteReader& r) {
+    Trace t;
+    t.id = r.u64();
+    const auto n = r.varint();
+    t.hops.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      TraceHop h;
+      h.stage = r.u16();
+      h.nanos = r.u64();
+      t.hops.push_back(h);
+    }
+    return t;
+  }
+};
+
+/// Keeps the N slowest completed traces (by total span). Mutex-guarded;
+/// only sampled traces reach it, so contention is negligible.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 16) : capacity_(capacity) {}
+
+  void offer(Trace t) {
+    const std::uint64_t total = t.totalNanos();
+    std::lock_guard lock(mu_);
+    if (traces_.size() < capacity_) {
+      traces_.push_back(std::move(t));
+      return;
+    }
+    // Evict the fastest resident if the newcomer is slower.
+    std::size_t fastest = 0;
+    std::uint64_t fastestTotal = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < traces_.size(); ++i) {
+      const auto ti = traces_[i].totalNanos();
+      if (ti < fastestTotal) {
+        fastestTotal = ti;
+        fastest = i;
+      }
+    }
+    if (total > fastestTotal) traces_[fastest] = std::move(t);
+  }
+
+  /// Slowest-first copy of the resident traces.
+  std::vector<Trace> slowest() const {
+    std::lock_guard lock(mu_);
+    std::vector<Trace> out = traces_;
+    std::sort(out.begin(), out.end(), [](const Trace& a, const Trace& b) {
+      return a.totalNanos() > b.totalNanos();
+    });
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<Trace> traces_;
+};
+
+}  // namespace volap

@@ -7,7 +7,11 @@
 namespace volap {
 
 Fabric::Fabric(FabricOptions opts)
-    : opts_(opts), rng_(opts.seed), dropRate_(opts.dropRate) {
+    : opts_(opts),
+      rng_(opts.seed),
+      sent_(metrics_.counter("net.sent")),
+      dropped_(metrics_.counter("net.dropped")),
+      dropRate_(opts.dropRate) {
   if (opts_.latencyMeanNanos > 0 || opts_.latencyJitterNanos > 0)
     delayThread_ = std::thread([this] { delayLoop(); });
 }
@@ -101,10 +105,10 @@ bool Fabric::faulted(const Message& m, const std::string& to,
 }
 
 bool Fabric::send(const std::string& to, Message m) {
-  sent_.fetch_add(1, std::memory_order_relaxed);
+  sent_.inc();
   std::uint64_t delay = 0;
   if (faulted(m, to, delay)) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_.inc();
     return true;  // silently eaten, like a lost datagram
   }
   // Resolve the destination at send time: a message addressed to an

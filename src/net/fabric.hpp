@@ -17,9 +17,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
+#include "common/trace.hpp"
 
 namespace volap {
 
@@ -71,6 +73,19 @@ struct Message {
   std::uint64_t corr = 0;  // correlation id for request/reply matching
   std::string from;        // sender endpoint, used for replies
   SharedBlob payload;      // immutable, shared with any retry entry
+
+  // Per-hop tracing (sampled). traceId == 0 means untraced — the hop
+  // vector stays empty, so untraced messages pay only an empty-vector
+  // member. Each node the message passes through appends its hops; acks
+  // echo the accumulated hops back so the requester can assemble the
+  // full path.
+  std::uint64_t traceId = 0;
+  std::vector<TraceHop> hops;
+
+  bool traced() const { return traceId != 0; }
+  void hop(TraceStage stage, std::uint64_t nanos) {
+    hops.push_back({static_cast<std::uint16_t>(stage), nanos});
+  }
 };
 
 /// A node's inbox. recv() blocks; close() releases all blocked receivers.
@@ -146,12 +161,13 @@ class Fabric {
   /// messages eaten by the drop model still return true, like UDP.
   bool send(const std::string& to, Message m);
 
-  std::uint64_t sentCount() const {
-    return sent_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t droppedCount() const {
-    return dropped_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t sentCount() const { return sent_.value(); }
+  std::uint64_t droppedCount() const { return dropped_.value(); }
+
+  /// Transport-level registry (`net.*` counters); FaultPlan also records
+  /// its `chaos.*` counters here so one scrape shows workload and injected
+  /// faults side by side.
+  MetricsRegistry& metrics() { return metrics_; }
 
   /// Dynamically adjust the failure model (tests flip this mid-run).
   void setDropRate(double rate);
@@ -186,8 +202,9 @@ class Fabric {
   std::mutex faultMu_;
   Rng rng_;
   std::vector<FaultRule> rules_;
-  std::atomic<std::uint64_t> sent_{0};
-  std::atomic<std::uint64_t> dropped_{0};
+  MetricsRegistry metrics_;
+  Counter& sent_;
+  Counter& dropped_;
   std::atomic<double> dropRate_;
 
   // Delayed-delivery machinery, started lazily when latency > 0.

@@ -47,7 +47,10 @@ class FaultPlan {
             double finalDropRate = 0)
       : fabric_(fabric),
         phases_(std::move(phases)),
-        finalDropRate_(finalDropRate) {}
+        finalDropRate_(finalDropRate),
+        phasesRun_(fabric.metrics().counter("chaos.phases_run")),
+        crashesFired_(fabric.metrics().counter("chaos.crashes_fired")),
+        lossyPhases_(fabric.metrics().counter("chaos.lossy_phases")) {}
 
   ~FaultPlan() { stop(); }
 
@@ -81,8 +84,14 @@ class FaultPlan {
  private:
   void run() {
     for (const auto& phase : phases_) {
+      // Injected-fault accounting: the fabric's registry carries what the
+      // plan actually did, so chaos-test failures can print it next to the
+      // workload counters instead of leaving a bare assert.
+      phasesRun_.inc();
+      if (phase.dropRate > 0) lossyPhases_.inc();
       fabric_.setDropRate(phase.dropRate);
       if (phase.action == FaultAction::kCrash) {
+        crashesFired_.inc();
         if (!phase.target.empty()) fabric_.crash(phase.target);
         if (phase.hook) phase.hook();
       }
@@ -98,6 +107,9 @@ class FaultPlan {
   Fabric& fabric_;
   const std::vector<FaultPhase> phases_;
   const double finalDropRate_;
+  Counter& phasesRun_;
+  Counter& crashesFired_;
+  Counter& lossyPhases_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

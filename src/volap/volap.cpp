@@ -80,8 +80,10 @@ std::unique_ptr<Client> VolapCluster::makeClient(const std::string& name,
   } else {
     idx = nextClientServer_++ % serverCount();
   }
-  return std::make_unique<Client>(*fabric_, name, serverEndpoint(idx),
-                                  maxOutstanding, opts_.clientRetry);
+  auto client = std::make_unique<Client>(*fabric_, name, serverEndpoint(idx),
+                                         maxOutstanding, opts_.clientRetry);
+  client->setTraceSampling(opts_.traceSampleEveryN);
+  return client;
 }
 
 WorkerId VolapCluster::addWorker() {
@@ -103,6 +105,17 @@ std::uint64_t VolapCluster::totalItems() const {
   std::uint64_t total = 0;
   for (const auto& w : workers_) total += w->itemsHeld();
   return total;
+}
+
+std::vector<std::string> VolapCluster::statsEndpoints() const {
+  std::vector<std::string> eps;
+  eps.reserve(servers_.size() + workers_.size() + 1);
+  for (unsigned i = 0; i < servers_.size(); ++i)
+    eps.push_back(serverEndpoint(i));
+  for (unsigned i = 0; i < workers_.size(); ++i)
+    eps.push_back(workerEndpoint(static_cast<WorkerId>(i)));
+  eps.push_back(managerEndpoint());
+  return eps;
 }
 
 }  // namespace volap

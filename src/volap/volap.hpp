@@ -39,6 +39,11 @@ struct ClusterOptions {
   FabricOptions net;
   /// Retry budget handed to every client session this cluster creates.
   RetryPolicy clientRetry;
+  /// Distributed-trace sampling handed to every client this cluster
+  /// creates: every Nth insert/query carries a trace id and per-hop
+  /// timestamps (0 = tracing off). The default keeps the per-hop stamp
+  /// cost to ~3% of requests while still filling the stage histograms.
+  unsigned traceSampleEveryN = 32;
   /// Wire every worker and the manager to a shared DurableLog (the
   /// in-process "disk"): inserts are write-ahead logged before their acks,
   /// shards are checkpointed periodically, and the manager re-hosts a
@@ -91,6 +96,11 @@ class VolapCluster {
   /// Per-worker item counts (direct reads; the Fig. 6 min/max series).
   std::vector<std::uint64_t> workerLoads() const;
   std::uint64_t totalItems() const;
+
+  /// Every scrapeable endpoint in this cluster: servers, workers, and the
+  /// manager (crashed workers are still listed; a scrape simply times out
+  /// on them and omits their reply).
+  std::vector<std::string> statsEndpoints() const;
 
  private:
   const Schema& schema_;

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <thread>
 
+#include "cluster/stats.hpp"
 #include "common/clock.hpp"
 #include "net/fault.hpp"
 #include "olap/data_gen.hpp"
@@ -40,6 +41,20 @@ ClusterOptions chaosOptions() {
   opts.worker.transferRetry = {25'000'000, 250'000'000, 5'000'000, 1.6, 6};
   opts.net.seed = 1234;
   return opts;
+}
+
+/// On-failure diagnostics: the fabric registry's injected-fault counters
+/// (chaos.* from FaultPlan, net.sent/net.dropped) plus every node's scraped
+/// metrics — a red chaos assertion prints what the fault plan actually did
+/// next to the cluster's own view of the run. Streamed into EXPECTs, so it
+/// only evaluates (and scrapes) when an assertion fails.
+std::string faultSummary(VolapCluster& cluster) {
+  std::string out =
+      "\n--- fabric ---\n" + cluster.fabric().metrics().snapshot().toText();
+  for (const auto& r : scrapeStats(cluster.fabric(),
+                                   cluster.statsEndpoints(), 500ms))
+    out += "--- " + r.node + " ---\n" + r.snapshot.toText();
+  return out;
 }
 
 /// Wait until `pred` holds or the deadline passes; returns pred().
@@ -83,6 +98,18 @@ TEST(Chaos, ConvergesAfterLossyPhases) {
   plan.stop();  // heal
   EXPECT_EQ(client->outstanding(), 0u);
 
+  // The injected faults surface through the fabric's registry: the plan
+  // accounts each phase it ran, and the lossy phases must actually have
+  // eaten messages.
+  {
+    const MetricsSnapshot net = cluster.fabric().metrics().snapshot();
+    EXPECT_EQ(*net.findCounter("chaos.phases_run"), 3u);
+    EXPECT_EQ(*net.findCounter("chaos.lossy_phases"), 3u);
+    EXPECT_EQ(*net.findCounter("chaos.crashes_fired"), 0u);
+    EXPECT_GT(*net.findCounter("net.dropped"), 0u) << faultSummary(cluster);
+    EXPECT_GT(*net.findCounter("net.sent"), *net.findCounter("net.dropped"));
+  }
+
   // Forced degradation: sever every worker->server reply; queries must
   // still complete, flagged partial, instead of hanging.
   cluster.fabric().addFaultRule({"worker/", "server/", 1.0});
@@ -110,7 +137,8 @@ TEST(Chaos, ConvergesAfterLossyPhases) {
         return !r.partial && r.agg.count >= acked &&
                r.agg.count == cluster.totalItems();
       },
-      10000ms));
+      10000ms))
+      << faultSummary(cluster);
   EXPECT_LE(client->query(QueryBox(schema)).agg.count, 2000u);
 
   // Leak detector: every pending map and retry queue drains, and the
@@ -127,7 +155,8 @@ TEST(Chaos, ConvergesAfterLossyPhases) {
           if (cluster.worker(w).retryEntries() != 0) return false;
         return cluster.manager().opsInFlight() == 0;
       },
-      15000ms));
+      15000ms))
+      << faultSummary(cluster);
 }
 
 TEST(Chaos, QueryDegradesToPartialWhenAllWorkerRepliesDrop) {
@@ -194,7 +223,7 @@ TEST(Chaos, RetriedInsertsAreNotDoubleCounted) {
 
   // Exactly-once apply despite at-least-once delivery: exact count and sum.
   const QueryReply r = client->query(QueryBox(schema));
-  EXPECT_EQ(r.agg.count, 400u);
+  EXPECT_EQ(r.agg.count, 400u) << faultSummary(cluster);
   EXPECT_NEAR(r.agg.sum, sum, 1e-6 * (1.0 + std::abs(sum)));
   EXPECT_EQ(cluster.totalItems(), 400u);
 
@@ -249,7 +278,7 @@ TEST(Chaos, ManagerLeaseReclaimsLostOperations) {
   cluster.manager().setEnabled(true);
   EXPECT_TRUE(eventually(
       [&] { return cluster.worker(fresh).itemsHeld() > 0; }, 15000ms))
-      << "balancer never recovered after healing";
+      << "balancer never recovered after healing" << faultSummary(cluster);
   EXPECT_TRUE(eventually([&] {
     return client->query(QueryBox(schema)).agg.count == 3000u;
   }));
