@@ -35,6 +35,7 @@ int main() {
   opts.manager.periodNanos = 120'000'000;
   opts.manager.maxShardItems = perWorker / 2;
   opts.manager.minImbalanceItems = perWorker / 10;
+  opts.manager.replicationFactor = 1;
   VolapCluster cluster(schema, opts);
   auto client = cluster.makeClient("loader", 0, 256);
   DataGenerator gen(schema, 99);

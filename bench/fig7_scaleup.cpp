@@ -37,6 +37,7 @@ int main() {
   opts.manager.periodNanos = 120'000'000;
   opts.manager.maxShardItems = perWorker / 2;
   opts.manager.minImbalanceItems = perWorker / 10;
+  opts.manager.replicationFactor = 1;
   VolapCluster cluster(schema, opts);
   auto client = cluster.makeClient("bench", 0, 256);
   DataGenOptions dataOpts;

@@ -66,6 +66,7 @@ int main() {
   opts.servers = 2;
   opts.workers = 4;
   opts.manager.maxShardItems = n;  // keep the run split-free
+  opts.manager.replicationFactor = 1;  // floor measures the unchained path
   if (const char* env = std::getenv("VOLAP_COALESCE"))
     opts.server.coalesce = std::strcmp(env, "0") != 0;
   VolapCluster cluster(schema, opts);

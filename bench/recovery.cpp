@@ -1,27 +1,55 @@
 // Recovery bench — crash a worker holding live shards and measure MTTR:
 // the wall-clock from the kill until a full-coverage query is exact again
-// (all acked items visible, no partial flag). Exercises the whole
-// durability pipeline: stale-heartbeat detection + grace, epoch fencing,
-// checkpoint + WAL replay onto survivors, and image repair propagation.
+// (all acked items visible, no partial flag). Runs the scenario twice:
+//
+//   cold      (R = 1): stale-heartbeat detection + grace, epoch fencing,
+//             checkpoint + WAL replay shipped onto survivors.
+//   failover  (R = 2): every shard chain-replicated; the manager promotes
+//             a caught-up replica IN PLACE — no state shipping — with
+//             cold replay as the fallback.
 //
 // Emits BENCH_recovery.json {recovery_ms, dead_window_ms, items,
-// shards_rehosted} for the CI perf-trajectory.
+// shards_rehosted} for the cold run (the legacy CI series) and
+// BENCH_failover.json {promotion_recovery_ms, cold_recovery_ms,
+// mttr_ratio, promotions} comparing the two.
 #include <chrono>
 #include <cstdio>
 #include <thread>
 
 #include "bench/bench_util.hpp"
+#include "keeper/keeper.hpp"
 #include "olap/data_gen.hpp"
 #include "volap/volap.hpp"
 
-int main() {
-  using namespace volap;
-  using namespace volap::bench;
-  using namespace std::chrono_literals;
-  banner("Recovery: worker crash to exact full-coverage answers",
-         "checkpoints + WAL bound MTTR to detection + replay; no acked "
-         "insert is lost across a hard worker kill");
+namespace {
 
+using namespace volap;
+using namespace volap::bench;
+using namespace std::chrono_literals;
+
+struct MttrResult {
+  bool recovered = false;
+  double recoveryMs = -1.0;
+  double deadMs = 0.0;
+  std::uint64_t items = 0;
+  std::uint64_t rehosted = 0;
+  std::uint64_t promotions = 0;
+};
+
+bool allChained(VolapCluster& cluster, std::size_t expectShards) {
+  KeeperClient zk(cluster.fabric(), "bench-chain-observer");
+  const auto kids = zk.children(shardsPath());
+  if (!kids || kids->size() < expectShards) return false;
+  for (const auto& name : *kids) {
+    const auto got = zk.get(shardsPath() + "/" + name);
+    if (!got) return false;
+    ByteReader r(got->data);
+    if (ShardInfo::deserialize(r).replicas.empty()) return false;
+  }
+  return true;
+}
+
+MttrResult measureMttr(unsigned replicationFactor) {
   const Schema schema = Schema::tpcds();
   ClusterOptions opts;
   opts.servers = 2;
@@ -35,6 +63,7 @@ int main() {
   opts.manager.aliveTimeoutNanos = 250'000'000;
   opts.manager.deadGraceNanos = 150'000'000;
   opts.manager.enabled = false;  // isolate recovery from balancing
+  opts.manager.replicationFactor = replicationFactor;
   opts.clientRetry = {40'000'000, 400'000'000, 10'000'000, 1.6, 12};
   VolapCluster cluster(schema, opts);
   auto client = cluster.makeClient("bench", 0, 256);
@@ -43,18 +72,22 @@ int main() {
   const std::size_t items = scaled(6'000);
   for (std::size_t i = 0; i < items; ++i) client->insertAsync(gen.next());
   client->drain();
-  const std::uint64_t acked = client->insertsAcked();
-  std::printf("ingested %llu items (acked), %llu expired\n",
-              static_cast<unsigned long long>(acked),
-              static_cast<unsigned long long>(client->insertsExpired()));
+  MttrResult res;
+  res.items = client->insertsAcked();
 
-  // Let every shard reach a checkpoint so replay is checkpoint + short WAL
-  // (the steady state), not a cold full-WAL rebuild.
+  // Let every shard reach a checkpoint so cold replay is checkpoint +
+  // short WAL (the steady state), and — in the chained run — wait for the
+  // supervisor to build and seed every chain so a promotion is possible.
   const unsigned victimShards = cluster.worker(1).shardCount();
-  const auto ckptDeadline = std::chrono::steady_clock::now() + 5s;
+  const auto settleDeadline = std::chrono::steady_clock::now() + 10s;
   while (cluster.worker(1).checkpointsTaken() < victimShards &&
-         std::chrono::steady_clock::now() < ckptDeadline)
+         std::chrono::steady_clock::now() < settleDeadline)
     std::this_thread::sleep_for(5ms);
+  if (replicationFactor >= 2) {
+    while (!allChained(cluster, 8) &&
+           std::chrono::steady_clock::now() < settleDeadline)
+      std::this_thread::sleep_for(5ms);
+  }
 
   const std::uint64_t t0 = nowNanos();
   cluster.crashWorker(1);
@@ -66,31 +99,63 @@ int main() {
   const auto deadline = std::chrono::steady_clock::now() + 30s;
   while (std::chrono::steady_clock::now() < deadline) {
     const QueryReply r = client->query(QueryBox(schema));
-    if (!r.partial && r.agg.count == acked) {
+    if (!r.partial && r.agg.count == res.items) {
       firstExact = nowNanos();
       break;
     }
     lastPartial = nowNanos();
     std::this_thread::sleep_for(10ms);
   }
-  const bool recovered = firstExact != 0;
-  const double recoveryMs =
-      recovered ? static_cast<double>(firstExact - t0) / 1e6 : -1.0;
-  const double deadMs = static_cast<double>(lastPartial - t0) / 1e6;
-  const std::uint64_t rehosted = cluster.manager().recoveriesDone();
+  res.recovered = firstExact != 0;
+  res.recoveryMs =
+      res.recovered ? static_cast<double>(firstExact - t0) / 1e6 : -1.0;
+  res.deadMs = static_cast<double>(lastPartial - t0) / 1e6;
+  res.rehosted = cluster.manager().recoveriesDone();
+  res.promotions = cluster.manager().promotionsDone();
+  return res;
+}
 
-  std::printf("%-22s %12s %14s %16s\n", "outcome", "items", "recovery_ms",
-              "shards_rehosted");
-  std::printf("%-22s %12llu %14.1f %16llu\n",
-              recovered ? "exact-after-crash" : "TIMED OUT",
-              static_cast<unsigned long long>(acked), recoveryMs,
-              static_cast<unsigned long long>(rehosted));
+}  // namespace
 
-  BenchJson json("recovery");
-  json.metric("recovery_ms", recoveryMs);
-  json.metric("dead_window_ms", deadMs);
-  json.metric("items", static_cast<double>(acked));
-  json.metric("shards_rehosted", static_cast<double>(rehosted));
-  json.write();
-  return recovered ? 0 : 1;
+int main() {
+  banner("Recovery: worker crash to exact full-coverage answers",
+         "cold replay ships checkpoint + WAL to survivors; chain failover "
+         "promotes a caught-up replica in place — no acked insert is lost "
+         "either way");
+
+  const MttrResult cold = measureMttr(/*replicationFactor=*/1);
+  const MttrResult failover = measureMttr(/*replicationFactor=*/2);
+
+  std::printf("%-10s %-18s %12s %14s %10s %12s\n", "mode", "outcome",
+              "items", "recovery_ms", "rehosted", "promotions");
+  for (const auto* r : {&cold, &failover}) {
+    std::printf("%-10s %-18s %12llu %14.1f %10llu %12llu\n",
+                r == &cold ? "cold" : "failover",
+                r->recovered ? "exact-after-crash" : "TIMED OUT",
+                static_cast<unsigned long long>(r->items), r->recoveryMs,
+                static_cast<unsigned long long>(r->rehosted),
+                static_cast<unsigned long long>(r->promotions));
+  }
+
+  // Legacy cold-replay series (unchanged schema).
+  {
+    BenchJson json("recovery");
+    json.metric("recovery_ms", cold.recoveryMs);
+    json.metric("dead_window_ms", cold.deadMs);
+    json.metric("items", static_cast<double>(cold.items));
+    json.metric("shards_rehosted", static_cast<double>(cold.rehosted));
+    json.write();
+  }
+  // Promotion vs cold-replay MTTR.
+  {
+    BenchJson json("failover");
+    json.metric("promotion_recovery_ms", failover.recoveryMs);
+    json.metric("cold_recovery_ms", cold.recoveryMs);
+    json.metric("mttr_ratio", failover.recoveryMs > 0 && cold.recoveryMs > 0
+                                  ? cold.recoveryMs / failover.recoveryMs
+                                  : -1.0);
+    json.metric("promotions", static_cast<double>(failover.promotions));
+    json.write();
+  }
+  return cold.recovered && failover.recovered ? 0 : 1;
 }

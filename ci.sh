@@ -4,8 +4,9 @@
 # suite in every pass), then a Release (-O3) perf-smoke leg that runs the
 # leaf-scan microbenchmark with its 2x speedup floor enforced, the
 # headline-ingest bench with its mixed-insert-rate floor enforced (2x the
-# pre-coalescing seed), plus the crash-recovery MTTR bench, and checks
-# that the BENCH_*.json trajectory files parse. Every bench runs at
+# pre-coalescing seed), plus the crash-recovery MTTR bench (cold replay vs
+# chain-failover promotion, BENCH_recovery.json + BENCH_failover.json), and
+# checks that the BENCH_*.json trajectory files parse. Every bench runs at
 # VOLAP_SCALE=0.25 so the trajectory points stay comparable across PRs.
 # Usage: ./ci.sh [jobs]
 set -euo pipefail
@@ -27,6 +28,13 @@ run_pass() {
 run_pass plain build
 run_pass tsan build-tsan -DVOLAP_SANITIZE=thread
 run_pass asan-ubsan build-asan -DVOLAP_SANITIZE=address,undefined
+
+# Chaos-replication leg: the chain-failover tests (primary kill, tail kill,
+# replica reads — all under message loss) rerun under TSan explicitly. They
+# are in the suite above too; this leg keeps the replication data races
+# loud even if the suite is ever filtered down.
+echo "==== [tsan] chaos-replication ===="
+ctest --test-dir build-tsan --output-on-failure -R 'failover' -j "$JOBS"
 
 echo "==== [release] configure ===="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release

@@ -96,6 +96,8 @@ int main(int argc, char** argv) {
       required = &requiredServerMetrics();
     else if (r.node.rfind("worker/", 0) == 0)
       required = &requiredWorkerMetrics();
+    else if (r.node == "manager")
+      required = &requiredManagerMetrics();
     if (required != nullptr) {
       for (const auto& name : missingMetrics(r.snapshot, *required)) {
         std::fprintf(stderr, "FAIL: %s missing required metric %s\n",

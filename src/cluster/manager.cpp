@@ -5,6 +5,7 @@
 
 #include "cluster/stats.hpp"
 #include "common/clock.hpp"
+#include "repl/repl.hpp"
 
 namespace volap {
 
@@ -22,7 +23,9 @@ Manager::Manager(Fabric& fabric, const Schema& schema, ManagerConfig cfg,
       migrations_(metrics_.counter("manager.migrations")),
       inFlight_(metrics_.gauge("manager.ops_in_flight")),
       opsTimedOut_(metrics_.counter("manager.ops_timed_out")),
-      recoveries_(metrics_.counter("manager.recoveries")) {
+      recoveries_(metrics_.counter("manager.recoveries")),
+      promotions_(metrics_.counter("repl.promotions")),
+      chainRepairs_(metrics_.counter("repl.chain_repairs")) {
   thread_ = std::thread([this] { serve(); });
 }
 
@@ -63,6 +66,8 @@ void Manager::serve() {
       case Op::kSplitDone: handleSplitDone(*m); break;
       case Op::kMigrateDone: handleMigrateDone(*m); break;
       case Op::kRecoverDone: handleRecoverDone(*m); break;
+      case Op::kReplPromoteAck: handleReplPromoteAck(*m); break;
+      case Op::kReplReconfigAck: handleReplReconfigAck(*m); break;
       case Op::kStats: handleStats(*m); break;
       default: break;
     }
@@ -91,8 +96,30 @@ void Manager::sweepLeases() {
     if (it->second.kind == PendingOp::Kind::kRecover) {
       // Un-pend the shard: the next supervision tick re-fences (bumping
       // the epoch again, so a late install from THIS attempt is rejected)
-      // and retries on a fresh target.
+      // and retries on a fresh target. Keep it an orphan suspect too, in
+      // case its image owner is alive-but-fenced (orphan recoveries are
+      // dispatched as kRecover as well).
       pendingRecover_.erase(it->second.shard);
+      orphanRetry_.insert(it->second.shard);
+    } else if (it->second.kind == PendingOp::Kind::kPromote) {
+      // The promote never concluded, but casPromotion already pointed the
+      // image at the candidate. Point it back at the dead owner so the
+      // next tick re-fences and retries — cold this time (the CAS cleared
+      // the replicas). A late install from this attempt is fenced by the
+      // re-fence's higher epoch. The owner may only have LOOKED dead (a
+      // heartbeat stall): mark the shard an orphan suspect so the
+      // supervisor re-hosts it even if the owner's beat is fresh again.
+      auto owner = pendingRecover_.find(it->second.shard);
+      if (owner != pendingRecover_.end()) {
+        ShardInfo back;
+        back.id = it->second.shard;
+        back.worker = owner->second;
+        writeShardInfo(back, /*relocate=*/true, /*takeCount=*/false);
+        pendingRecover_.erase(owner);
+      }
+      orphanRetry_.insert(it->second.shard);
+    } else if (it->second.kind == PendingOp::Kind::kReconfig) {
+      pendingReconfig_.erase(it->second.shard);
     } else {
       inFlight_.add(-1);
     }
@@ -177,61 +204,286 @@ void Manager::superviseRecovery() {
     haveBeat.insert(s.worker);
   }
 
-  if (dead.empty() && pendingRecover_.empty()) return;
+  if (!dead.empty() || !pendingRecover_.empty()) {
+    // Live recovery targets, lightest first; recoveries round-robin across
+    // them so one survivor does not absorb a whole dead worker alone.
+    std::vector<WorkerId> targets;
+    for (const auto& [id, s] : workers)
+      if (dead.count(id) == 0) targets.push_back(id);
+    std::sort(targets.begin(), targets.end(),
+              [&](WorkerId a, WorkerId b) {
+                return workers[a].totalItems < workers[b].totalItems;
+              });
+    if (targets.empty()) return;  // nobody left to host anything
 
-  // Live recovery targets, lightest first; recoveries round-robin across
-  // them so one survivor does not absorb a whole dead worker alone.
-  std::vector<WorkerId> targets;
-  for (const auto& [id, s] : workers)
-    if (dead.count(id) == 0) targets.push_back(id);
-  std::sort(targets.begin(), targets.end(),
-            [&](WorkerId a, WorkerId b) {
-              return workers[a].totalItems < workers[b].totalItems;
-            });
-  if (targets.empty()) return;  // nobody left to host anything
+    std::size_t rr = 0;
+    std::set<WorkerId> stillOwning;  // dead workers with shards to move
+    for (const ShardInfo& s : shards) {
+      if (dead.count(s.worker) == 0) continue;
+      stillOwning.insert(s.worker);
+      if (pendingRecover_.count(s.id) != 0) continue;
+      if (pendingRecover_.size() >= cfg_.maxConcurrentRecoveries) continue;
+      // A reconfig dispatched to the now-dead owner can never conclude;
+      // cancel it so the post-recovery chain rebuild is not parked behind
+      // its lease.
+      if (pendingReconfig_.erase(s.id) != 0) {
+        for (auto it = pendingOps_.begin(); it != pendingOps_.end();)
+          it = (it->second.kind == PendingOp::Kind::kReconfig &&
+                it->second.shard == s.id)
+                   ? pendingOps_.erase(it)
+                   : std::next(it);
+      }
+      // Fence first: after this, the dead owner's appends/checkpoints fail
+      // even if it is secretly alive (a zombie), so the snapshot is final.
+      auto snap = durable_->fence(s.id);
+      if (!snap.has_value()) continue;  // shard never wrote: nothing to move
 
-  std::size_t rr = 0;
-  std::set<WorkerId> stillOwning;  // dead workers with shards left to move
-  for (const ShardInfo& s : shards) {
-    if (dead.count(s.worker) == 0) continue;
-    stillOwning.insert(s.worker);
-    if (pendingRecover_.count(s.id) != 0) continue;
-    if (pendingRecover_.size() >= cfg_.maxConcurrentRecoveries) continue;
-    // Fence first: after this, the dead owner's appends/checkpoints fail
-    // even if it is secretly alive (a zombie), so the snapshot is final.
-    auto snap = durable_->fence(s.id);
-    if (!snap.has_value()) continue;  // shard never wrote: nothing to move
-    RecoverShard req;
-    req.shard = s.id;
-    req.epoch = snap->epoch;
-    req.checkpoint = std::move(snap->checkpoint);
-    req.wal = std::move(snap->wal);
-    req.applied = std::move(snap->applied);
-    const WorkerId target = targets[rr++ % targets.size()];
-    const std::uint64_t corr = nextCorr_++;
-    pendingOps_[corr] = {PendingOp::Kind::kRecover,
-                         nowNanos() + cfg_.opLeaseNanos, s.id};
-    pendingRecover_[s.id] = s.worker;
-    if (!fabric_.send(workerEndpoint(target),
-                      makeMessage(Op::kRecoverShard, corr,
-                                  managerEndpoint(), req.encode()))) {
-      pendingOps_.erase(corr);
-      pendingRecover_.erase(s.id);
+      // Fast path — promotion: a live chain member already mirrors the
+      // shard (and, by the tail-gated ack rule, holds every acked insert).
+      // Promote the most-caught-up survivor — the EARLIEST in chain order,
+      // since each member applies before relaying — in place instead of
+      // shipping the whole checkpoint + WAL across the fabric.
+      if (cfg_.replicationFactor >= 2) {
+        WorkerId candidate = kNoWorker;
+        for (WorkerId rep : s.replicas) {
+          if (rep == s.worker || dead.count(rep) != 0) continue;
+          if (workers.count(rep) == 0) continue;
+          candidate = rep;
+          break;
+        }
+        if (candidate != kNoWorker &&
+            casPromotion(s, snap->epoch, candidate)) {
+          ReplPromote req{s.id, snap->epoch};
+          const std::uint64_t corr = nextCorr_++;
+          pendingOps_[corr] = {PendingOp::Kind::kPromote,
+                               nowNanos() + cfg_.opLeaseNanos, s.id};
+          pendingRecover_[s.id] = s.worker;
+          if (fabric_.send(workerEndpoint(candidate),
+                           makeMessage(Op::kReplPromote, corr,
+                                       managerEndpoint(), req.encode()))) {
+            continue;  // promotion dispatched; cold path not needed
+          }
+          // Send failed: roll the image back so the cold path below (and
+          // later ticks) still see the dead owner.
+          pendingOps_.erase(corr);
+          pendingRecover_.erase(s.id);
+          ShardInfo back;
+          back.id = s.id;
+          back.worker = s.worker;
+          writeShardInfo(back, /*relocate=*/true, /*takeCount=*/false);
+        }
+      }
+
+      RecoverShard req;
+      req.shard = s.id;
+      req.epoch = snap->epoch;
+      req.checkpoint = std::move(snap->checkpoint);
+      req.wal = std::move(snap->wal);
+      req.applied = std::move(snap->applied);
+      const WorkerId target = targets[rr++ % targets.size()];
+      const std::uint64_t corr = nextCorr_++;
+      pendingOps_[corr] = {PendingOp::Kind::kRecover,
+                           nowNanos() + cfg_.opLeaseNanos, s.id};
+      pendingRecover_[s.id] = s.worker;
+      if (!fabric_.send(workerEndpoint(target),
+                        makeMessage(Op::kRecoverShard, corr,
+                                    managerEndpoint(), req.encode()))) {
+        pendingOps_.erase(corr);
+        pendingRecover_.erase(s.id);
+      }
+    }
+
+    // Retire a dead worker's registration only once the image maps none of
+    // its shards to it and nothing is in flight toward it — removing the
+    // heartbeat earlier would make it look alive again (missing znode =
+    // assumed alive) and stall the rest of its recoveries.
+    for (WorkerId w : dead) {
+      if (stillOwning.count(w) != 0) continue;
+      bool inFlight = false;
+      for (const auto& [shard, from] : pendingRecover_)
+        if (from == w) inFlight = true;
+      if (inFlight) continue;
+      zk_.remove(workerPath(w));
+      zk_.remove(alivePath(w));
     }
   }
 
-  // Retire a dead worker's registration only once the image maps none of
-  // its shards to it and nothing is in flight toward it — removing the
-  // heartbeat earlier would make it look alive again (missing znode =
-  // assumed alive) and stall the rest of its recoveries.
-  for (WorkerId w : dead) {
-    if (stillOwning.count(w) != 0) continue;
-    bool inFlight = false;
-    for (const auto& [shard, from] : pendingRecover_)
-      if (from == w) inFlight = true;
-    if (inFlight) continue;
-    zk_.remove(workerPath(w));
-    zk_.remove(alivePath(w));
+  // Orphan healing. A fencing race can leave the image mapping a shard to
+  // a LIVE worker that no longer hosts it: a worker spuriously declared
+  // dead during a heartbeat stall sheds its fenced slots once its
+  // checkpoints start failing, then its beat goes fresh again; or a failed
+  // promotion rolls the image back to an owner that already shed the slot.
+  // The dead-owner loop above never retries those (the owner looks alive),
+  // so the shard would strand — reachable in the image, hosted nowhere.
+  // Any shard flagged as an orphan suspect (reconfig/promote NACK, expired
+  // recovery lease) is re-hosted from the durable store exactly like a
+  // dead-owner recovery; the fence bump makes the replayed copy
+  // authoritative no matter who still thinks they own it, and the target
+  // may well be the image owner itself.
+  if (!orphanRetry_.empty()) {
+    std::vector<WorkerId> targets;
+    for (const auto& [id, st] : workers)
+      if (dead.count(id) == 0) targets.push_back(id);
+    std::sort(targets.begin(), targets.end(), [&](WorkerId a, WorkerId b) {
+      return workers[a].totalItems < workers[b].totalItems;
+    });
+    std::set<ShardId> inImage;
+    std::size_t rr = 0;
+    for (const ShardInfo& s : shards) {
+      inImage.insert(s.id);
+      if (orphanRetry_.count(s.id) == 0) continue;
+      if (dead.count(s.worker) != 0) {
+        orphanRetry_.erase(s.id);  // the dead-owner loop handles it
+        continue;
+      }
+      if (pendingRecover_.count(s.id) != 0 ||
+          pendingReconfig_.count(s.id) != 0)
+        continue;
+      if (pendingRecover_.size() >= cfg_.maxConcurrentRecoveries) break;
+      if (targets.empty()) break;
+      auto snap = durable_->fence(s.id);
+      if (!snap.has_value()) {
+        orphanRetry_.erase(s.id);  // never wrote: nothing to re-host
+        continue;
+      }
+      RecoverShard req;
+      req.shard = s.id;
+      req.epoch = snap->epoch;
+      req.checkpoint = std::move(snap->checkpoint);
+      req.wal = std::move(snap->wal);
+      req.applied = std::move(snap->applied);
+      const WorkerId target = targets[rr++ % targets.size()];
+      const std::uint64_t corr = nextCorr_++;
+      pendingOps_[corr] = {PendingOp::Kind::kRecover,
+                           nowNanos() + cfg_.opLeaseNanos, s.id};
+      pendingRecover_[s.id] = s.worker;
+      orphanRetry_.erase(s.id);
+      if (!fabric_.send(workerEndpoint(target),
+                        makeMessage(Op::kRecoverShard, corr,
+                                    managerEndpoint(), req.encode()))) {
+        pendingOps_.erase(corr);
+        pendingRecover_.erase(s.id);
+        orphanRetry_.insert(s.id);
+      }
+    }
+    // Suspects no longer in the image (retired by a split merge-back or a
+    // concluded relocation) are moot.
+    for (auto it = orphanRetry_.begin(); it != orphanRetry_.end();)
+      it = inImage.count(*it) == 0 ? orphanRetry_.erase(it) : std::next(it);
+  }
+
+  // Chain repair avoids not just declared-dead workers but also SUSPECTS —
+  // workers past the alive timeout but still inside the dead grace. A
+  // reconfig dispatched to a worker that is actually dying parks that
+  // shard's repair behind the full command lease; waiting out the grace
+  // costs one tick and no lease.
+  std::set<WorkerId> avoid = readDeadWorkers(0);
+  avoid.insert(dead.begin(), dead.end());
+  repairChains(workers, shards, avoid);
+}
+
+bool Manager::casPromotion(const ShardInfo& s, std::uint64_t epoch,
+                           WorkerId target) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    auto cur = zk_.get(shardPath(s.id));
+    if (!cur.has_value()) return false;
+    ShardInfo stored;
+    try {
+      ByteReader r(cur->data);
+      stored = ShardInfo::deserialize(r);
+    } catch (const DeserializeError&) {
+      return false;
+    }
+    if (stored.epoch >= epoch) {
+      return false;  // someone moved past us
+    }
+    bool hasTarget = false;
+    for (WorkerId rep : stored.replicas) hasTarget |= rep == target;
+    // The chain changed under us (e.g. the primary's teardown gate
+    // cleared the replicas before dying): the candidate may be stale.
+    if (!hasTarget || stored.worker != s.worker) {
+      return false;
+    }
+    stored.worker = target;
+    stored.epoch = epoch;
+    stored.replicas.clear();
+    ByteWriter w;
+    stored.serialize(w);
+    if (zk_.set(shardPath(s.id), w.take(), cur->version).has_value())
+      return true;
+  }
+  return false;
+}
+
+void Manager::repairChains(const std::map<WorkerId, WorkerStats>& workers,
+                           const std::vector<ShardInfo>& shards,
+                           const std::set<WorkerId>& avoid) {
+  if (cfg_.replicationFactor < 2) return;
+  // Trusted workers (not dead, not suspect), lightest first, as
+  // recruitment candidates.
+  std::vector<WorkerId> live;
+  for (const auto& [id, s] : workers)
+    if (avoid.count(id) == 0) live.push_back(id);
+  std::sort(live.begin(), live.end(), [&](WorkerId a, WorkerId b) {
+    return workers.at(a).totalItems < workers.at(b).totalItems;
+  });
+  if (live.size() < 2) return;  // nobody distinct to replicate onto
+  const std::size_t want = std::min<std::size_t>(
+      cfg_.replicationFactor - 1, live.size() - 1);
+  // Shards mid-split/migrate: their slot is busy and would NACK the
+  // reconfig, which the NACK handler reads as "owner lost the slot" and
+  // answers with a needless re-host. Wait the balancing op out instead.
+  std::set<ShardId> balancing;
+  for (const auto& [corr, op] : pendingOps_)
+    if (op.kind == PendingOp::Kind::kSplit ||
+        op.kind == PendingOp::Kind::kMigrate)
+      balancing.insert(op.shard);
+  unsigned dispatched = 0;
+  for (const ShardInfo& s : shards) {
+    if (avoid.count(s.worker) != 0) continue;  // promotion/recovery first
+    if (workers.count(s.worker) == 0) continue;
+    if (pendingRecover_.count(s.id) != 0) continue;
+    if (pendingReconfig_.count(s.id) != 0) continue;
+    if (balancing.count(s.id) != 0) continue;
+    if (orphanRetry_.count(s.id) != 0) continue;  // re-host first
+    // Keep healthy members in chain order; anything dead, unknown, or
+    // duplicated forces a rebuild.
+    std::vector<WorkerId> keep;
+    bool broken = false;
+    for (WorkerId rep : s.replicas) {
+      if (rep == s.worker || avoid.count(rep) != 0 ||
+          workers.count(rep) == 0) {
+        broken = true;
+        continue;
+      }
+      if (keep.size() < want)
+        keep.push_back(rep);
+      else
+        broken = true;
+    }
+    if (keep.size() == want && !broken) continue;  // chain is healthy
+    std::vector<WorkerId> chain{s.worker};
+    for (WorkerId rep : keep) chain.push_back(rep);
+    for (WorkerId cand : live) {
+      if (chain.size() >= want + 1) break;
+      bool used = false;
+      for (WorkerId c : chain) used |= c == cand;
+      if (!used) chain.push_back(cand);  // distinct-worker placement
+    }
+    if (chain.size() < 2) continue;  // cannot improve right now
+    const std::uint64_t corr = nextCorr_++;
+    pendingOps_[corr] = {PendingOp::Kind::kReconfig,
+                         nowNanos() + cfg_.opLeaseNanos, s.id};
+    pendingReconfig_.insert(s.id);
+    if (!fabric_.send(workerEndpoint(s.worker),
+                      makeMessage(Op::kReplReconfig, corr,
+                                  managerEndpoint(),
+                                  ReplReconfig{s.id, chain}.encode()))) {
+      pendingOps_.erase(corr);
+      pendingReconfig_.erase(s.id);
+      continue;
+    }
+    if (++dispatched >= cfg_.maxConcurrentRecoveries) break;
   }
 }
 
@@ -240,10 +492,20 @@ void Manager::analyze() {
   std::vector<ShardInfo> shards;
   if (!readImage(workers, shards) || workers.empty()) return;
 
+  // Shards with replication work in flight are off-limits for balancing:
+  // a split/migrate would make the primary's slot busy and NACK the
+  // pending reconfig, which the supervisor reads as a lost slot.
+  auto replBusy = [&](const ShardInfo& s) {
+    return pendingReconfig_.count(s.id) != 0 ||
+           pendingRecover_.count(s.id) != 0 ||
+           orphanRetry_.count(s.id) != 0;
+  };
+
   // Rule 1 — capacity: split any shard beyond the size cap, largest first,
   // so migration units stay manageable (SIII-E).
   const ShardInfo* splitCandidate = nullptr;
   for (const auto& s : shards) {
+    if (replBusy(s)) continue;
     if (s.count > cfg_.maxShardItems &&
         (splitCandidate == nullptr || s.count > splitCandidate->count))
       splitCandidate = &s;
@@ -283,7 +545,7 @@ void Manager::analyze() {
   const ShardInfo* movable = nullptr;
   const ShardInfo* largestOnHeavy = nullptr;
   for (const auto& s : shards) {
-    if (s.worker != heavy) continue;
+    if (s.worker != heavy || replBusy(s)) continue;
     if (largestOnHeavy == nullptr || s.count > largestOnHeavy->count)
       largestOnHeavy = &s;
     if (s.count == 0 || s.count > gap / 2 + 1) continue;
@@ -397,12 +659,88 @@ void Manager::handleRecoverDone(const Message& m) {
   }
   // Failure (corrupt durable state, or the target itself got re-fenced):
   // leave the image alone; the next tick re-fences and retries elsewhere.
-  if (!done.ok || done.info.id != shard) return;
+  // Flag the shard as an orphan suspect so a retry happens even when its
+  // image owner is alive (orphan recoveries fail through here too).
+  if (!done.ok || done.info.id != shard) {
+    orphanRetry_.insert(shard);
+    return;
+  }
   // Publish the new placement — epoch included, so servers reject the dead
   // owner's late acks — and the restored count. Servers pick the change up
   // through their /volap/shards watches, exactly like a migration.
   writeShardInfo(done.info, /*relocate=*/true, /*takeCount=*/true);
   recoveries_.inc();
+}
+
+void Manager::handleReplPromoteAck(const Message& m) {
+  auto it = pendingOps_.find(m.corr);
+  if (it == pendingOps_.end() ||
+      it->second.kind != PendingOp::Kind::kPromote)
+    return;  // lease expired, or duplicate/forged ack
+  const ShardId shard = it->second.shard;
+  WorkerId deadOwner = kNoWorker;
+  if (auto pr = pendingRecover_.find(shard); pr != pendingRecover_.end())
+    deadOwner = pr->second;
+  pendingOps_.erase(it);
+  pendingRecover_.erase(shard);
+  RecoverDone done;
+  try {
+    done = RecoverDone::decode(m.payload);
+  } catch (const DeserializeError&) {
+    return;
+  }
+  if (!done.ok || done.info.id != shard) {
+    // The replica could not claim the shard (stale copy got fenced, or the
+    // CAS raced). casPromotion already pointed the image at the candidate;
+    // point it back at the dead owner so the next tick re-fences and runs
+    // cold recovery — otherwise the shard strands on a live worker that
+    // never hosts it. The owner may have been only SPURIOUSLY dead (and
+    // has shed the fenced slot by now), so also mark the shard an orphan
+    // suspect: the supervisor then re-hosts it even if the owner's
+    // heartbeat is fresh again.
+    if (deadOwner != kNoWorker) {
+      ShardInfo back;
+      back.id = shard;
+      back.worker = deadOwner;
+      writeShardInfo(back, /*relocate=*/true, /*takeCount=*/false);
+    }
+    orphanRetry_.insert(shard);
+    return;
+  }
+  writeShardInfo(done.info, /*relocate=*/true, /*takeCount=*/true);
+  promotions_.inc();
+  recoveries_.inc();
+}
+
+void Manager::handleReplReconfigAck(const Message& m) {
+  auto it = pendingOps_.find(m.corr);
+  if (it == pendingOps_.end() ||
+      it->second.kind != PendingOp::Kind::kReconfig)
+    return;
+  const ShardId shard = it->second.shard;
+  pendingOps_.erase(it);
+  pendingReconfig_.erase(shard);
+  RecoverDone done;
+  try {
+    done = RecoverDone::decode(m.payload);
+  } catch (const DeserializeError&) {
+    return;
+  }
+  // Failure: with balancing ops serialized against replication ops per
+  // shard, a NACK means the image owner does not actually host the shard
+  // (it shed a fenced slot after a spurious death declaration, or a
+  // rolled-back promotion left the image stale). Retrying the reconfig
+  // would NACK forever; re-host the shard from the durable store instead.
+  if (!done.ok || done.info.id != shard) {
+    orphanRetry_.insert(shard);
+    return;
+  }
+  // Publish the chain (info.replicas) alongside the unchanged placement so
+  // servers can scatter replica reads and a future promotion can find the
+  // members.
+  writeShardInfo(done.info, /*relocate=*/true, /*takeCount=*/true);
+  if (everChained_.count(shard) != 0) chainRepairs_.inc();
+  everChained_.insert(shard);
 }
 
 }  // namespace volap

@@ -68,6 +68,12 @@ struct ManagerConfig {
   /// Cap on concurrently outstanding kRecoverShard commands (recovery
   /// payloads are whole shards; do not flood the fabric).
   unsigned maxConcurrentRecoveries = 4;
+  /// Replication factor R: every shard should live on one primary plus
+  /// R-1 chain replicas on distinct live workers (src/repl/repl.hpp).
+  /// R = 1 disables chains entirely (no reconfigs are ever issued, and
+  /// the workers' ingest path skips the replication branch). Chains need
+  /// a DurableLog — without one the factor is ignored.
+  unsigned replicationFactor = 2;
 };
 
 class DurableLog;
@@ -97,6 +103,12 @@ class Manager {
   std::uint64_t opsTimedOut() const { return opsTimedOut_.value(); }
   /// Shards successfully re-hosted off dead workers.
   std::uint64_t recoveriesDone() const { return recoveries_.value(); }
+  /// Dead primaries replaced by promoting a caught-up chain replica in
+  /// place (the fast-failover path; cold kRecoverShard is the fallback).
+  std::uint64_t promotionsDone() const { return promotions_.value(); }
+  /// Broken chains rebuilt with fresh members (a member died or the
+  /// primary tore the chain down after its retransmission budget).
+  std::uint64_t chainRepairsDone() const { return chainRepairs_.value(); }
 
   /// This manager's metrics registry (scraped via kStats).
   MetricsRegistry& metrics() { return metrics_; }
@@ -112,7 +124,13 @@ class Manager {
   /// corr. `shard` is set for recoveries so an expired lease un-pends the
   /// shard (it gets re-fenced and retried on a later tick).
   struct PendingOp {
-    enum class Kind : std::uint8_t { kSplit, kMigrate, kRecover };
+    enum class Kind : std::uint8_t {
+      kSplit,
+      kMigrate,
+      kRecover,
+      kPromote,
+      kReconfig
+    };
     Kind kind = Kind::kSplit;
     std::uint64_t deadlineNanos = 0;
     ShardId shard = 0;
@@ -126,6 +144,21 @@ class Manager {
   void handleSplitDone(const Message& m);
   void handleMigrateDone(const Message& m);
   void handleRecoverDone(const Message& m);
+  void handleReplPromoteAck(const Message& m);
+  void handleReplReconfigAck(const Message& m);
+  /// Rebuild every chain that is short of replicationFactor - 1 healthy
+  /// members on distinct trusted workers (runs each supervision tick).
+  /// `avoid` holds dead workers plus suspects still inside the dead grace
+  /// — no reconfig is dispatched to or recruits from either.
+  void repairChains(const std::map<WorkerId, WorkerStats>& workers,
+                    const std::vector<ShardInfo>& shards,
+                    const std::set<WorkerId>& avoid);
+  /// CAS the image entry to (worker = target, epoch, replicas cleared) —
+  /// the promotion commit point. Fails if the chain changed under us (the
+  /// primary's own teardown gate won the race) or someone moved the epoch
+  /// past ours; the caller then falls back to cold recovery.
+  bool casPromotion(const ShardInfo& s, std::uint64_t epoch,
+                    WorkerId target);
   bool readImage(std::map<WorkerId, WorkerStats>& workers,
                  std::vector<ShardInfo>& shards);
   /// Workers whose heartbeat znode exists but is stale by more than
@@ -156,11 +189,24 @@ class Manager {
   Gauge& inFlight_;
   Counter& opsTimedOut_;
   Counter& recoveries_;
+  Counter& promotions_;
+  Counter& chainRepairs_;
   std::uint64_t nextCorr_ = 1;
   std::map<std::uint64_t, PendingOp> pendingOps_;  // serve thread only
-  /// Shards with an outstanding kRecoverShard, mapped to the dead worker
-  /// they are being moved off (serve thread only).
+  /// Shards with an outstanding kRecoverShard or kReplPromote, mapped to
+  /// the dead worker they are being moved off (serve thread only).
   std::map<ShardId, WorkerId> pendingRecover_;
+  /// Shards with an outstanding kReplReconfig (serve thread only).
+  std::set<ShardId> pendingReconfig_;
+  /// Orphan suspects: the image maps them to a worker that reported (or
+  /// timed out suggesting) it no longer hosts them — a fencing race, e.g.
+  /// a spuriously-dead-declared owner shedding its fenced slot, or a
+  /// failed promotion rolled back. The supervisor cold-recovers these from
+  /// the durable store even though their image owner looks alive.
+  std::set<ShardId> orphanRetry_;
+  /// Shards that have completed at least one reconfig: a later reconfig
+  /// for them is a chain REPAIR, not initial chain creation.
+  std::set<ShardId> everChained_;
 
   std::thread thread_;
 };

@@ -51,6 +51,15 @@ enum class Op : std::uint16_t {
   // Stats plane (any scraper -> any node; see cluster/stats.hpp).
   kStats = 0x270,       // empty payload; reply-to taken from Message::from
   kStatsReply = 0x271,  // StatsReply: node name + registry snapshot + traces
+  // Replication plane (see repl/repl.hpp for payloads).
+  kReplAppend = 0x280,      // primary/replica -> successor: chained WAL entry
+  kReplAck = 0x281,         // successor -> predecessor: cumulative apply ack
+  kReplSeed = 0x282,        // primary -> new chain member: checkpoint + WAL
+  kReplSeedAck = 0x283,     // member -> primary: seed installed
+  kReplReconfig = 0x284,    // manager -> primary: adopt this chain
+  kReplReconfigAck = 0x285, // primary -> manager: RecoverDone
+  kReplPromote = 0x286,     // manager -> replica: become primary at epoch
+  kReplPromoteAck = 0x287,  // replica -> manager: RecoverDone
 };
 
 // ---- small payload helpers -------------------------------------------------
@@ -124,6 +133,13 @@ struct WQueryReply {
   std::uint32_t searchedShards = 0;
   std::vector<std::pair<ShardId, WorkerId>> moved;
   std::vector<ShardId> notMine;
+  /// Replica-read bounce: shards this worker replicates but whose copy was
+  /// too stale to serve, pointing back at the primary. Unlike `moved`,
+  /// these were routed here on purpose (replica-aware scatter), so the
+  /// server must re-ask the primary even though the shard was "queried".
+  /// Appended after `notMine` and guarded by remaining() so pre-replication
+  /// payloads still decode.
+  std::vector<std::pair<ShardId, WorkerId>> redirect;
 
   Blob encode() const {
     ByteWriter w;
@@ -136,6 +152,11 @@ struct WQueryReply {
     }
     w.varint(notMine.size());
     for (auto id : notMine) w.varint(id);
+    w.varint(redirect.size());
+    for (const auto& [id, dst] : redirect) {
+      w.varint(id);
+      w.u32(dst);
+    }
     return w.take();
   }
   static WQueryReply decode(const Blob& b) {
@@ -153,6 +174,15 @@ struct WQueryReply {
     const auto nm = r.varint();
     m.notMine.reserve(nm);
     for (std::uint64_t i = 0; i < nm; ++i) m.notMine.push_back(r.varint());
+    if (r.remaining() > 0) {
+      const auto nr = r.varint();
+      m.redirect.reserve(nr);
+      for (std::uint64_t i = 0; i < nr; ++i) {
+        const ShardId id = r.varint();
+        const WorkerId dst = r.u32();
+        m.redirect.emplace_back(id, dst);
+      }
+    }
     return m;
   }
 };

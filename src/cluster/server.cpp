@@ -47,6 +47,8 @@ Server::Server(Fabric& fabric, const Schema& schema, ServerId id,
       freshnessLagNs_(metrics_.histogram("ingest.freshness_lag_ns")),
       queryScanNs_(metrics_.histogram("trace.query.scan_ns")),
       queryTotalNs_(metrics_.histogram("trace.query.total_ns")),
+      replicaReads_(metrics_.counter("server.replica_reads")),
+      ingestReplNs_(metrics_.histogram("trace.ingest.repl_ns")),
       pool_(cfg.threads) {
   // Pull gauges: evaluated only at snapshot/scrape time, under the same
   // locks stats() takes. Registered before the serve thread starts, so no
@@ -211,6 +213,11 @@ void Server::recordIngestTrace(Trace t) {
   const std::uint64_t acked = t.at(TraceStage::kServerAck);
   if (recv && wal >= recv) ingestWalNs_.record(wal - recv);
   if (wal && applied >= wal) ingestApplyNs_.record(applied - wal);
+  // Chained inserts: time from the primary's forward to the tail's ack
+  // (the replication leg the client ack waited on).
+  const std::uint64_t fwd = t.at(TraceStage::kReplForward);
+  const std::uint64_t tack = t.at(TraceStage::kReplTailAck);
+  if (fwd && tack >= fwd) ingestReplNs_.record(tack - fwd);
   if (sent) {
     if (applied >= sent) freshnessLagNs_.record(applied - sent);
     if (acked >= sent) ingestTotalNs_.record(acked - sent);
@@ -843,7 +850,25 @@ void Server::handleQuery(const Message& m) {
   {
     imageLock_.lock_shared();
     image_.routeQuery(box, ids);
-    for (ShardId id : ids) byWorker[image_.workerOf(id)].push_back(id);
+    for (ShardId id : ids) {
+      WorkerId dest = image_.workerOf(id);
+      // Replica-aware scatter: rotate each chunk across the shard's chain
+      // (primary + replicas). A stale replica redirects the chunk back to
+      // the primary, so results stay exact.
+      if (cfg_.replicaReads) {
+        const auto& reps = image_.replicasOf(id);
+        if (!reps.empty()) {
+          const std::uint64_t r =
+              queryRotor_.fetch_add(1, std::memory_order_relaxed) %
+              (reps.size() + 1);
+          if (r > 0 && reps[r - 1] != dest && reps[r - 1] != kNoWorker) {
+            dest = reps[r - 1];
+            replicaReads_.inc();
+          }
+        }
+      }
+      byWorker[dest].push_back(id);
+    }
     imageLock_.unlock_shared();
   }
   if (ids.empty()) {
@@ -969,6 +994,12 @@ void Server::handleWorkerQueryReply(const Message& m) {
       for (const auto& [id, dest] : reply.moved) {
         if (q->queried.count(id) != 0) continue;  // already covered
         q->queried.insert(id);
+        chase(q, id, dest);
+      }
+      for (const auto& [id, dest] : reply.redirect) {
+        // A stale replica bounced the chunk back to the primary. The shard
+        // IS in q->queried (we chose to ask the replica), so no dedup
+        // guard: the redirect is the only path that will answer it.
         chase(q, id, dest);
       }
       for (ShardId id : reply.notMine) {

@@ -69,6 +69,8 @@ inline const std::vector<std::string>& requiredServerMetrics() {
       "server.pending_queries",
       "server.retry_entries",
       "server.coalesce.buffered",
+      "server.replica_reads",
+      "h:trace.ingest.repl_ns",
       "h:ingest.freshness_lag_ns",
       "h:trace.ingest.route_ns",
       "h:trace.ingest.lane_dwell_ns",
@@ -95,9 +97,25 @@ inline const std::vector<std::string>& requiredWorkerMetrics() {
       "worker.items_held",
       "worker.shards",
       "worker.retry_entries",
+      "repl.appends_forwarded",
+      "repl.appends_applied",
+      "repl.lag_entries",
+      "h:repl.lag_ns",
       "h:worker.wal_append_ns",
       "h:worker.batch_apply_ns",
       "h:worker.query_scan_ns",
+  };
+  return kNames;
+}
+
+/// Metric names every healthy manager must report.
+inline const std::vector<std::string>& requiredManagerMetrics() {
+  static const std::vector<std::string> kNames = {
+      "manager.splits",
+      "manager.migrations",
+      "manager.recoveries",
+      "repl.promotions",
+      "repl.chain_repairs",
   };
   return kNames;
 }

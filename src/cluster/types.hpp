@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "olap/mds.hpp"
 
@@ -56,12 +57,20 @@ struct ShardInfo {
   std::uint64_t count = 0;
   std::uint64_t epoch = 0;
   MdsKey box;  // may be empty for a freshly created shard
+  /// Replication chain downstream of the primary, in chain order (first
+  /// successor first; the tail is last). Empty means unreplicated. Owned by
+  /// the same authoritative writers as `worker`: the hosting primary's
+  /// stats push and the manager's reconfig/promotion commits.
+  std::vector<WorkerId> replicas;
 
   void mergeFrom(const Schema& schema, const ShardInfo& o, bool takeLocation,
                  bool takeCount) {
     if (takeCount) count = o.count;
     if (o.box.valid()) box.merge(schema, o.box);
-    if (takeLocation) worker = o.worker;
+    if (takeLocation) {
+      worker = o.worker;
+      replicas = o.replicas;
+    }
     if (o.epoch > epoch) epoch = o.epoch;  // fencing epochs never regress
   }
 
@@ -71,6 +80,8 @@ struct ShardInfo {
     w.varint(count);
     w.varint(epoch);
     box.serialize(w);
+    w.varint(replicas.size());
+    for (auto rep : replicas) w.u32(rep);
   }
   static ShardInfo deserialize(ByteReader& r) {
     ShardInfo s;
@@ -79,6 +90,9 @@ struct ShardInfo {
     s.count = r.varint();
     s.epoch = r.varint();
     s.box = MdsKey::deserialize(r);
+    const auto n = r.varint();
+    s.replicas.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) s.replicas.push_back(r.u32());
     return s;
   }
 };

@@ -43,6 +43,12 @@ void stamp(std::vector<TraceHop>& hops, TraceStage s, std::uint64_t nanos) {
   hops.push_back({static_cast<std::uint16_t>(s), nanos});
 }
 
+/// How many applied-record dedup identities a replica retains for
+/// promotion-time replay seeding. Mirrors DurableLog::kAppliedCap: the
+/// window in which a sender's retransmission of an already-applied request
+/// is answered from cache instead of re-applied.
+constexpr std::size_t kReplLogCap = 8192;
+
 WalRecord makeWalRecord(const Message& m, Op ackOp, const Blob& ackPayload,
                         const PointSet& items) {
   WalRecord rec;
@@ -69,6 +75,7 @@ Worker::Worker(Fabric& fabric, const Schema& schema, WorkerId id,
                                       : nullptr),
       inbox_(fabric.bind(workerEndpoint(id))),
       zk_(fabric, workerEndpoint(id)),
+      replRng_(0x7265706cull ^ id),
       rng_(0x776f726bull ^ id),
       inserts_(metrics_.counter("worker.inserts_applied")),
       queries_(metrics_.counter("worker.queries_served")),
@@ -82,6 +89,12 @@ Worker::Worker(Fabric& fabric, const Schema& schema, WorkerId id,
       fencedShards_(metrics_.counter("worker.fenced_shards")),
       recovered_(metrics_.counter("worker.shards_recovered")),
       checkpoints_(metrics_.counter("worker.checkpoints")),
+      replForwarded_(metrics_.counter("repl.appends_forwarded")),
+      replApplied_(metrics_.counter("repl.appends_applied")),
+      replAbandoned_(metrics_.counter("repl.appends_abandoned")),
+      replReads_(metrics_.counter("repl.reads")),
+      replSeeded_(metrics_.counter("repl.seeds")),
+      replLagNs_(metrics_.histogram("repl.lag_ns")),
       walAppendNs_(metrics_.histogram("worker.wal_append_ns")),
       batchApplyNs_(metrics_.histogram("worker.batch_apply_ns")),
       queryScanNs_(metrics_.histogram("worker.query_scan_ns")),
@@ -103,6 +116,20 @@ Worker::Worker(Fabric& fabric, const Schema& schema, WorkerId id,
   });
   metrics_.gaugeFn("worker.group_commit_records", [this] {
     return static_cast<std::int64_t>(groupCommitRecords());
+  });
+  metrics_.gaugeFn("repl.lag_entries", [this] {
+    // Un-acked chain entries across every primary-side window: how far the
+    // slowest chain trails the primary, in appends.
+    std::lock_guard lock(replMu_);
+    std::int64_t n = 0;
+    for (const auto& [shard, cs] : chains_)
+      n += static_cast<std::int64_t>(cs.window.size());
+    for (const auto& [shard, rs] : replicaShards_)
+      n += static_cast<std::int64_t>(rs.out.size());
+    return n;
+  });
+  metrics_.gaugeFn("repl.replica_shards", [this] {
+    return static_cast<std::int64_t>(replicaShardCount());
   });
   thread_ = std::thread([this] { serve(); });
 }
@@ -128,6 +155,14 @@ void Worker::crash() {
     std::lock_guard lock(slotsMu_);
     slots_.clear();
     pendingMigrations_.clear();
+  }
+  {
+    std::lock_guard lock(replMu_);
+    chains_.clear();
+    replicaShards_.clear();
+    pendingSeeds_.clear();
+    heldAcks_.clear();  // never acked: the promoted owner re-answers retries
+    chainsActive_.store(0, std::memory_order_release);
   }
   std::lock_guard lock(retryMu_);
   retryMap_.clear();
@@ -157,6 +192,11 @@ std::size_t Worker::retryEntries() const {
   return retryMap_.size();
 }
 
+std::size_t Worker::replicaShardCount() const {
+  std::lock_guard lock(replMu_);
+  return replicaShards_.size();
+}
+
 Worker::Slot* Worker::findSlot(ShardId id) {
   auto it = slots_.find(id);
   return it == slots_.end() ? nullptr : &it->second;
@@ -176,8 +216,10 @@ void Worker::serve() {
       nextCheckpoint = now + cfg_.checkpointIntervalNanos;
     }
     sweepRetries();
+    const std::uint64_t replDue = sweepReplication();
     std::uint64_t timer = nextStats;
     if (durable_ != nullptr) timer = std::min(timer, nextCheckpoint);
+    if (replDue != 0) timer = std::min(timer, replDue);
     const std::uint64_t wake = nextWakeNanos(timer);
     now = nowNanos();
     auto m = inbox_->recvFor(
@@ -228,6 +270,28 @@ void Worker::serve() {
       }
       case Op::kTransferAck:
         handleTransferAck(*m);
+        break;
+      case Op::kReplAppend:
+      case Op::kReplSeed:
+      case Op::kReplReconfig:
+      case Op::kReplPromote: {
+        auto msg = std::make_shared<Message>(std::move(*m));
+        const Op op = static_cast<Op>(msg->type);
+        pool_.submit([this, msg, op] {
+          switch (op) {
+            case Op::kReplAppend: handleReplAppend(*msg); break;
+            case Op::kReplSeed: handleReplSeed(*msg); break;
+            case Op::kReplReconfig: handleReplReconfig(*msg); break;
+            default: handleReplPromote(*msg); break;
+          }
+        });
+        break;
+      }
+      case Op::kReplAck:
+        handleReplAck(*m);
+        break;
+      case Op::kReplSeedAck:
+        handleReplSeedAck(*m);
         break;
       case Op::kStats:
         handleStats(*m);
@@ -332,6 +396,7 @@ void Worker::sweepRetries() {
   };
   std::vector<Resend> resend;
   std::vector<ShardId> abortedMigrations;
+  std::vector<std::uint64_t> failedSeeds;
   const std::uint64_t now = nowNanos();
   {
     std::lock_guard lock(retryMu_);
@@ -352,6 +417,10 @@ void Worker::sweepRetries() {
       }
       if (rt.op == Op::kTransferShard) {
         abortedMigrations.push_back(rt.shard);
+      } else if (rt.op == Op::kReplSeed) {
+        // The recruit never confirmed its seed: tear the chain down rather
+        // than run it silently under-replicated (the manager re-recruits).
+        failedSeeds.push_back(it->first);
       } else {
         // A forwarded batch or migration-queue remnant is gone for good:
         // its items were already acked upstream (at-least-once), so all we
@@ -365,6 +434,7 @@ void Worker::sweepRetries() {
     fabric_.send(r.dest, makeMessage(r.op, r.corr, workerEndpoint(id_),
                                      std::move(r.payload)));
   for (ShardId id : abortedMigrations) abortMigration(id);
+  for (std::uint64_t corr : failedSeeds) replSeedFailed(corr);
 }
 
 std::uint64_t Worker::nextWakeNanos(std::uint64_t nextTimer) {
@@ -512,6 +582,10 @@ void Worker::handleInsert(const Message& m) {
     // The ack names the slot that actually absorbed the item and its
     // fencing epoch, so servers can reject a fenced zombie's late acks.
     const Blob ackPayload = WInsertAckInfo{targetId, epoch}.encode();
+    const bool chained =
+        durable_ != nullptr &&
+        chainsActive_.load(std::memory_order_acquire) != 0;
+    WalRecord replRec;  // copy kept for the chain when `chained`
     if (durable_ != nullptr) {
       // Write-ahead of the ack: log while the insert is counted in-flight
       // (checkpointing drains that count, so WAL and checkpoint agree). A
@@ -520,10 +594,10 @@ void Worker::handleInsert(const Message& m) {
       // will dedup) this (from, corr) from the restored WAL.
       PointSet one(schema_.dims());
       one.push(req.point.ref());
+      WalRecord rec = makeWalRecord(m, Op::kWInsertAck, ackPayload, one);
+      if (chained) replRec = rec;
       const std::uint64_t walStart = nowNanos();
-      if (!groupCommit_->commit(targetId, epoch,
-                                makeWalRecord(m, Op::kWInsertAck, ackPayload,
-                                              one))) {
+      if (!groupCommit_->commit(targetId, epoch, std::move(rec))) {
         active->fetch_sub(1, std::memory_order_acq_rel);
         fencedOps_.inc();
         abandonRequest(m);
@@ -535,9 +609,31 @@ void Worker::handleInsert(const Message& m) {
       if (m.traced()) stamp(hops, TraceStage::kWorkerWal, walDone);
     }
     target->insert(req.point.ref());
-    active->fetch_sub(1, std::memory_order_acq_rel);
     inserts_.inc();
     if (m.traced()) stamp(hops, TraceStage::kWorkerApplied, nowNanos());
+    if (chained) {
+      auto d = std::make_shared<DeferredAck>();
+      d->from = m.from;
+      d->corr = m.corr;
+      d->ackOp = static_cast<std::uint16_t>(Op::kWInsertAck);
+      d->payload = ackPayload;
+      if (m.traced()) {
+        d->traceId = m.traceId;
+        d->hops = m.hops;
+        d->hops.insert(d->hops.end(), hops.begin(), hops.end());
+      }
+      // The in-flight ticket is still held across the chain handoff: a
+      // reconfig snapshot drains tickets under slotsMu_, so every record
+      // is either inside its snapshot or forwarded as an append — never
+      // both, never neither.
+      const bool deferred =
+          replicateRecord(targetId, epoch, std::move(replRec), d,
+                          m.traced() ? &d->hops : nullptr);
+      active->fetch_sub(1, std::memory_order_acq_rel);
+      if (deferred) return;  // the tail's ack releases the client ack
+    } else {
+      active->fetch_sub(1, std::memory_order_acq_rel);
+    }
     completeRequest(m, Op::kWInsertAck, ackPayload, std::move(hops));
     return;
   }
@@ -550,6 +646,8 @@ void Worker::handleQuery(const Message& m) {
   const WQuery req = WQuery::decode(m.payload);
   std::vector<std::shared_ptr<Shard>> targets;
   WQueryReply reply;
+  // (shard, was the server's root target) pairs that no live slot claims.
+  std::vector<std::pair<ShardId, bool>> unresolved;
   {
     std::lock_guard lock(slotsMu_);
     std::unordered_set<const Shard*> seen;
@@ -562,17 +660,10 @@ void Worker::handleQuery(const Message& m) {
         if (!visited.insert(cur).second) continue;
         Slot* slot = findSlot(cur);
         if (slot == nullptr) {
-          if (cur != id) {
-            // A split-right child we no longer know about: tell the server
-            // to locate it via its image / the keeper.
-            reply.moved.emplace_back(cur, kNoWorker);
-          } else {
-            // A shard the server thinks we host but we do not (never did,
-            // or we were fenced out of it). Reporting it as not-mine makes
-            // the server count it unreachable — a visible partial result —
-            // and refresh its image, instead of silently merging zero.
-            reply.notMine.push_back(cur);
-          }
+          // Might be hosted here as a replica (replica-aware reads) —
+          // resolved below, outside slotsMu_ (lock order: slotsMu_ before
+          // replMu_, never nested the other way on this path).
+          unresolved.emplace_back(cur, cur == id);
           continue;
         }
         if (slot->movedTo != kNoWorker) {
@@ -585,6 +676,40 @@ void Worker::handleQuery(const Message& m) {
           targets.push_back(slot->queue);
         for (const auto& [plane, rightId] : slot->splits)
           pending.push_back(rightId);  // query every half; trees prune
+      }
+    }
+  }
+  if (!unresolved.empty()) {
+    std::lock_guard lock(replMu_);
+    for (const auto& [sid, isRoot] : unresolved) {
+      auto it = replicaShards_.find(sid);
+      if (it != replicaShards_.end()) {
+        // Replica-aware read: answer from the mirrored tree when it is
+        // caught up (no gap stashed, last apply within the staleness
+        // bound); otherwise point the server back at the chain's primary.
+        ReplicaShard& rs = it->second;
+        const bool fresh =
+            rs.stash.empty() &&
+            rs.lastLagNanos <= cfg_.replicaReadStalenessNanos;
+        if (fresh && rs.shard) {
+          targets.push_back(rs.shard);
+          replReads_.inc();
+        } else {
+          reply.redirect.emplace_back(
+              sid, rs.chain.empty() ? kNoWorker : rs.chain[0]);
+        }
+        continue;
+      }
+      if (!isRoot) {
+        // A split-right child we no longer know about: tell the server
+        // to locate it via its image / the keeper.
+        reply.moved.emplace_back(sid, kNoWorker);
+      } else {
+        // A shard the server thinks we host but we do not (never did,
+        // or we were fenced out of it). Reporting it as not-mine makes
+        // the server count it unreachable — a visible partial result —
+        // and refresh its image, instead of silently merging zero.
+        reply.notMine.push_back(sid);
       }
     }
   }
@@ -767,6 +892,10 @@ void Worker::handleBulk(const Message& m) {
       WBulkAck{toApply + forwarded,
                static_cast<std::uint64_t>(inbox_->pending())}
           .encode();
+  const bool chained =
+      durable_ != nullptr &&
+      chainsActive_.load(std::memory_order_acquire) != 0;
+  std::vector<WalRecord> replRecs;  // parallel to targets when `chained`
   if (durable_ != nullptr && !targets.empty()) {
     // Write-ahead of both the apply and the ack, while every target's
     // in-flight count is held (so a concurrent checkpoint cannot truncate
@@ -778,9 +907,9 @@ void Worker::handleBulk(const Message& m) {
     bool fenced = false;
     const std::uint64_t walStart = nowNanos();
     for (const auto& t : targets) {
-      if (!groupCommit_->commit(t.id, t.epoch,
-                                makeWalRecord(m, ackOp, ackPayload,
-                                              t.items))) {
+      WalRecord rec = makeWalRecord(m, ackOp, ackPayload, t.items);
+      if (chained) replRecs.push_back(rec);
+      if (!groupCommit_->commit(t.id, t.epoch, std::move(rec))) {
         fenced = true;
         break;
       }
@@ -809,12 +938,38 @@ void Worker::handleBulk(const Message& m) {
     // the bounds/size bookkeeping is amortized over the batch.
     t.shard->bulkInsert(t.items);
     applied += t.items.size();
-    t.active->fetch_sub(1, std::memory_order_acq_rel);
   }
   const std::uint64_t applyDone = nowNanos();
   if (!targets.empty()) batchApplyNs_.record(applyDone - applyStart);
   inserts_.inc(applied);
   if (m.traced()) stamp(hops, TraceStage::kWorkerApplied, applyDone);
+  bool deferred = false;
+  if (chained && replRecs.size() == targets.size()) {
+    std::shared_ptr<DeferredAck> d;
+    if (acked) {
+      d = std::make_shared<DeferredAck>();
+      d->from = m.from;
+      d->corr = m.corr;
+      d->ackOp = static_cast<std::uint16_t>(ackOp);
+      d->payload = ackPayload;
+      if (m.traced()) {
+        d->traceId = m.traceId;
+        d->hops = m.hops;
+        d->hops.insert(d->hops.end(), hops.begin(), hops.end());
+      }
+    }
+    // Forward while every target's in-flight ticket is still held (see
+    // handleInsert): a reconfig snapshot and the chain must not both
+    // cover a record, and neither may miss it.
+    for (std::size_t i = 0; i < targets.size(); ++i)
+      deferred |= replicateRecord(targets[i].id, targets[i].epoch,
+                                  std::move(replRecs[i]), d,
+                                  (d && m.traced()) ? &d->hops : nullptr) &&
+                  d != nullptr;
+  }
+  for (const auto& t : targets)
+    t.active->fetch_sub(1, std::memory_order_acq_rel);
+  if (deferred) return;  // the tail's acks release the client ack
   if (acked) completeRequest(m, ackOp, ackPayload, std::move(hops));
 }
 
@@ -938,6 +1093,11 @@ void Worker::handleSplitShard(const Message& m) {
       checkpointSlotLocked(req.newShard, rit->second);
     }
   }
+  // The split invalidated any replication chain for the parent: its
+  // replicas mirror the pre-split tree. Drop the chain (releasing any
+  // tail-gated acks — the records are locally durable) and let the
+  // manager's repair scan rebuild chains for both halves.
+  dropChain(req.shard);
   fabric_.send(m.from, makeMessage(Op::kSplitDone, m.corr,
                                    workerEndpoint(id_), done.encode()));
 }
@@ -1059,6 +1219,9 @@ void Worker::handleTransferAck(const Message& m) {
     slot->busy = false;
     slot->splits.clear();  // the mapping traveled with the transfer
   }
+  // The new owner starts unreplicated; the manager's repair scan builds it
+  // a fresh chain. Ours is stale the moment ownership moved.
+  dropChain(id);
   if (queued.size() > 0) {
     ShardBatch batch;
     batch.shard = id;
@@ -1222,7 +1385,730 @@ void Worker::fenceSlot(ShardId id) {
       pendingMigrations_.erase(id);
     }
   }
-  if (!wasBusy) fencedShards_.inc();
+  if (!wasBusy) {
+    fencedShards_.inc();
+    // Fenced out: any chain this worker headed for the shard is dead.
+    // Release its tail-gated acks (records are in our WAL; the recovered
+    // owner re-acks retries via its replay cache).
+    dropChain(id);
+  }
+}
+
+// ---- replication ------------------------------------------------------------
+//
+// Chain-replicated WALs (see src/repl/repl.hpp). Lock order on these
+// paths: slotsMu_ -> replMu_ -> (retryMu_ | dedupMu_), never the reverse.
+// fabric_.send only enqueues, so sending under replMu_ is safe; keeper
+// calls (zk_) are RPCs and are never made under replMu_.
+
+void Worker::completeDeferred(const std::shared_ptr<DeferredAck>& d) {
+  {
+    std::lock_guard lock(dedupMu_);
+    inFlightMsgs_.erase(d->from + '#' + std::to_string(d->corr));
+    replay_.remember(d->from, d->corr, d->ackOp, d->payload);
+  }
+  Message ack = makeMessage(static_cast<Op>(d->ackOp), d->corr,
+                            workerEndpoint(id_), std::move(d->payload));
+  if (d->traceId != 0) {
+    ack.traceId = d->traceId;
+    ack.hops = std::move(d->hops);
+  }
+  fabric_.send(d->from, std::move(ack));
+}
+
+bool Worker::replicateRecord(ShardId shard, std::uint64_t epoch,
+                             WalRecord rec,
+                             const std::shared_ptr<DeferredAck>& ack,
+                             std::vector<TraceHop>* hops) {
+  if (chainsActive_.load(std::memory_order_acquire) == 0) return false;
+  std::string dest;
+  Message out;
+  {
+    std::lock_guard lock(replMu_);
+    auto it = chains_.find(shard);
+    if (it == chains_.end()) return false;
+    ChainState& cs = it->second;
+    if (cs.chain.size() < 2 || cs.epoch != epoch) return false;
+    const std::uint64_t now = nowNanos();
+    const std::uint64_t idx = cs.nextIndex++;
+    ReplAppend app;
+    app.shard = shard;
+    app.epoch = epoch;
+    app.logIndex = idx;
+    app.sendNanos = now;
+    app.chain = cs.chain;
+    app.records.push_back(std::move(rec));
+    ReplOutEntry e;
+    e.payload = SharedBlob(app.encode());
+    e.corr = nextCorr_.fetch_add(1);
+    e.attempts = 1;
+    e.sendNanos = now;
+    e.dueNanos = now + retryDelayNanos(cfg_.transferRetry, 1, replRng_);
+    if (ack != nullptr) {
+      e.clientAcks.push_back(ack);
+      ++ack->remaining;
+    }
+    dest = workerEndpoint(cs.chain[1]);
+    out = makeMessage(Op::kReplAppend, e.corr, workerEndpoint(id_),
+                      e.payload);
+    if (hops != nullptr && ack != nullptr && ack->traceId != 0) {
+      stamp(*hops, TraceStage::kReplForward, now);
+      e.traceId = ack->traceId;
+      e.hops = *hops;
+      out.traceId = ack->traceId;
+      out.hops = *hops;
+    }
+    cs.window.emplace(idx, std::move(e));
+    replForwarded_.inc();
+  }
+  fabric_.send(dest, std::move(out));
+  return true;
+}
+
+void Worker::handleReplAppend(const Message& m) {
+  ReplAppend app;
+  try {
+    app = ReplAppend::decode(m.payload);
+  } catch (const DeserializeError&) {
+    return;
+  }
+  std::size_t pos = app.chain.size();
+  for (std::size_t i = 0; i < app.chain.size(); ++i)
+    if (app.chain[i] == id_) {
+      pos = i;
+      break;
+    }
+  if (pos == app.chain.size() || pos == 0) return;  // stale membership
+  {
+    // A zombie old primary may keep forwarding after this worker was
+    // promoted: a live slot for the shard outranks any replica role.
+    std::lock_guard lock(slotsMu_);
+    Slot* slot = findSlot(app.shard);
+    if (slot != nullptr && slot->shard && slot->movedTo == kNoWorker) {
+      fencedOps_.inc();
+      return;
+    }
+  }
+  const ShardId shardId = app.shard;
+  const std::uint64_t arrivedIdx = app.logIndex;
+  const bool tail = pos + 1 == app.chain.size();
+  struct Send {
+    std::string dest;
+    Message msg;
+  };
+  std::vector<Send> sends;
+  {
+    std::lock_guard lock(replMu_);
+    auto it = replicaShards_.find(shardId);
+    if (it == replicaShards_.end()) return;  // unseeded; primary retries
+    ReplicaShard& rs = it->second;
+    if (app.epoch != rs.epoch) {
+      // Lower epoch: a fenced chain's zombie stream — drop silently (no
+      // ack, so its window exhausts). Higher: wait for the fresh seed.
+      if (app.epoch < rs.epoch) fencedOps_.inc();
+      return;
+    }
+    rs.chain = app.chain;  // membership travels with every append
+    if (arrivedIdx <= rs.lastApplied) {
+      // Duplicate (retransmission; our ack or relay was lost). Re-ack
+      // cumulatively — but an intermediate only up to what the tail
+      // confirmed, or the entry would count as chain-durable early.
+      const std::uint64_t ackedThrough =
+          tail ? rs.lastApplied
+               : (rs.out.empty() ? rs.lastApplied
+                                 : rs.out.begin()->first - 1);
+      if (arrivedIdx <= ackedThrough)
+        sends.push_back(
+            {m.from,
+             makeMessage(Op::kReplAck, m.corr, workerEndpoint(id_),
+                         ReplAck{shardId, rs.epoch, ackedThrough}.encode())});
+    } else {
+      rs.stash.emplace(arrivedIdx, std::move(app));
+      const std::uint64_t now = nowNanos();
+      bool advanced = false;
+      while (true) {
+        auto sit = rs.stash.find(rs.lastApplied + 1);
+        if (sit == rs.stash.end()) break;
+        ReplAppend cur = std::move(sit->second);
+        rs.stash.erase(sit);
+        const std::uint64_t idx = cur.logIndex;
+        const bool immediate = idx == arrivedIdx;
+        // Forward bytes are fixed BEFORE the apply clears record items:
+        // the immediate entry reuses the wire blob verbatim, drained
+        // stash entries re-encode.
+        SharedBlob fwdBytes;
+        if (!tail)
+          fwdBytes = immediate ? m.payload : SharedBlob(cur.encode());
+        for (auto& rec : cur.records) {
+          try {
+            ByteReader rr(rec.items);
+            PointSet items = PointSet::deserialize(rr);
+            if (rs.shard) rs.shard->bulkInsert(items);
+          } catch (const DeserializeError&) {
+            dropped_.inc();  // poisoned record body; keep the dedup id
+          }
+          rec.items.clear();
+          rs.log.push_back(std::move(rec));
+        }
+        while (rs.log.size() > kReplLogCap) rs.log.pop_front();
+        rs.lastApplied = idx;
+        advanced = true;
+        const std::uint64_t lag =
+            now >= cur.sendNanos ? now - cur.sendNanos : 0;
+        replLagNs_.record(lag);
+        rs.lastLagNanos = lag;
+        rs.lastAppendNanos = now;
+        replApplied_.inc();
+        if (!tail) {
+          ReplOutEntry e;
+          e.payload = fwdBytes;
+          e.corr = nextCorr_.fetch_add(1);
+          e.attempts = 1;
+          e.sendNanos = cur.sendNanos;
+          e.dueNanos =
+              now + retryDelayNanos(cfg_.transferRetry, 1, replRng_);
+          e.ackTo = m.from;
+          e.ackCorr = m.corr;
+          Message fwd = makeMessage(Op::kReplAppend, e.corr,
+                                    workerEndpoint(id_), fwdBytes);
+          if (immediate && m.traced()) {
+            fwd.traceId = m.traceId;
+            fwd.hops = m.hops;
+            stamp(fwd.hops, TraceStage::kReplApplied, now);
+            e.traceId = m.traceId;
+          }
+          sends.push_back(
+              {workerEndpoint(cur.chain[pos + 1]), std::move(fwd)});
+          rs.out.emplace(idx, std::move(e));
+        }
+      }
+      if (tail && advanced) {
+        Message ackMsg =
+            makeMessage(Op::kReplAck, m.corr, workerEndpoint(id_),
+                        ReplAck{shardId, rs.epoch, rs.lastApplied}.encode());
+        if (m.traced()) {
+          ackMsg.traceId = m.traceId;
+          ackMsg.hops = m.hops;
+          stamp(ackMsg.hops, TraceStage::kReplApplied, now);
+        }
+        sends.push_back({m.from, std::move(ackMsg)});
+      }
+    }
+  }
+  for (auto& s : sends) fabric_.send(s.dest, std::move(s.msg));
+}
+
+void Worker::handleReplAck(const Message& m) {
+  ReplAck ack;
+  try {
+    ack = ReplAck::decode(m.payload);
+  } catch (const DeserializeError&) {
+    return;
+  }
+  std::vector<std::shared_ptr<DeferredAck>> done;
+  std::string relayTo;
+  Message relay;
+  {
+    std::lock_guard lock(replMu_);
+    auto cit = chains_.find(ack.shard);
+    if (cit != chains_.end() && cit->second.epoch == ack.epoch) {
+      // Primary: the tail confirmed everything at or below logIndex — the
+      // entries are on every chain member, release their client acks.
+      ChainState& cs = cit->second;
+      const std::uint64_t now = nowNanos();
+      for (auto it = cs.window.begin();
+           it != cs.window.end() && it->first <= ack.logIndex;
+           it = cs.window.erase(it)) {
+        ReplOutEntry& e = it->second;
+        for (auto& d : e.clientAcks) {
+          if (m.traced() && e.traceId == m.traceId && e.traceId != 0) {
+            d->hops = m.hops;
+            stamp(d->hops, TraceStage::kReplTailAck, now);
+          }
+          if (d->remaining > 0 && --d->remaining == 0) done.push_back(d);
+        }
+      }
+    } else {
+      auto rit = replicaShards_.find(ack.shard);
+      if (rit != replicaShards_.end() && rit->second.epoch == ack.epoch) {
+        // Intermediate: fold the confirmed prefix out of our own window
+        // and relay ONE cumulative ack upstream.
+        ReplicaShard& rs = rit->second;
+        bool any = false;
+        std::string upstream;
+        std::uint64_t upCorr = 0;
+        for (auto it = rs.out.begin();
+             it != rs.out.end() && it->first <= ack.logIndex;
+             it = rs.out.erase(it)) {
+          any = true;
+          upstream = it->second.ackTo;
+          upCorr = it->second.ackCorr;
+        }
+        if (any && !upstream.empty()) {
+          relayTo = upstream;
+          relay = makeMessage(
+              Op::kReplAck, upCorr, workerEndpoint(id_),
+              ReplAck{ack.shard, ack.epoch, ack.logIndex}.encode());
+          if (m.traced()) {
+            relay.traceId = m.traceId;
+            relay.hops = m.hops;
+          }
+        }
+      }
+    }
+  }
+  for (auto& d : done) completeDeferred(d);
+  if (!relayTo.empty()) fabric_.send(relayTo, std::move(relay));
+}
+
+std::uint64_t Worker::sweepReplication() {
+  struct Resend {
+    std::string dest;
+    Message msg;
+  };
+  std::vector<Resend> resend;
+  std::vector<std::pair<ShardId, std::uint64_t>> toDrop;  // shard, epoch
+  std::vector<std::vector<std::shared_ptr<DeferredAck>>> dropReleases;
+  std::vector<HeldRelease> dueHeld;
+  std::uint64_t nextDue = 0;
+  const std::uint64_t now = nowNanos();
+  auto fold = [&nextDue](std::uint64_t due) {
+    if (due != 0) nextDue = nextDue == 0 ? due : std::min(nextDue, due);
+  };
+  {
+    std::lock_guard lock(replMu_);
+    if (chains_.empty() && replicaShards_.empty() && heldAcks_.empty())
+      return 0;
+    for (auto& [shard, cs] : chains_) {
+      if (cs.chain.size() < 2) continue;
+      bool exhausted = false;
+      for (auto& [idx, e] : cs.window) {
+        if (e.dueNanos > now) {
+          fold(e.dueNanos);
+          continue;
+        }
+        if (e.attempts >= cfg_.transferRetry.maxAttempts) {
+          // The successor stopped acking for a full budget: tear the
+          // chain down rather than run it wedged (the manager's repair
+          // scan rebuilds one with live members).
+          exhausted = true;
+          break;
+        }
+        ++e.attempts;
+        e.dueNanos =
+            now + retryDelayNanos(cfg_.transferRetry, e.attempts, replRng_);
+        fold(e.dueNanos);
+        resend.push_back(
+            {workerEndpoint(cs.chain[1]),
+             makeMessage(Op::kReplAppend, e.corr, workerEndpoint(id_),
+                         e.payload)});
+        retriesSent_.inc();
+      }
+      if (exhausted) toDrop.emplace_back(shard, cs.epoch);
+    }
+    for (auto& [shard, rs] : replicaShards_) {
+      if (rs.out.empty()) continue;
+      std::size_t pos = rs.chain.size();
+      for (std::size_t i = 0; i < rs.chain.size(); ++i)
+        if (rs.chain[i] == id_) {
+          pos = i;
+          break;
+        }
+      const bool haveSucc =
+          pos != rs.chain.size() && pos + 1 < rs.chain.size();
+      for (auto it = rs.out.begin(); it != rs.out.end();) {
+        ReplOutEntry& e = it->second;
+        if (e.dueNanos > now) {
+          fold(e.dueNanos);
+          ++it;
+          continue;
+        }
+        if (!haveSucc || e.attempts >= cfg_.transferRetry.maxAttempts) {
+          // Applied locally, successor unreachable: give up on the relay.
+          // The un-acked client ack lives on the primary, whose own
+          // window exhausts independently.
+          it = rs.out.erase(it);
+          continue;
+        }
+        ++e.attempts;
+        e.dueNanos =
+            now + retryDelayNanos(cfg_.transferRetry, e.attempts, replRng_);
+        fold(e.dueNanos);
+        resend.push_back(
+            {workerEndpoint(rs.chain[pos + 1]),
+             makeMessage(Op::kReplAppend, e.corr, workerEndpoint(id_),
+                         e.payload)});
+        retriesSent_.inc();
+        ++it;
+      }
+    }
+    for (auto& [shard, epoch] : toDrop) {
+      dropReleases.emplace_back();
+      dropChainLocked(shard, dropReleases.back());
+    }
+    for (auto it = heldAcks_.begin(); it != heldAcks_.end();) {
+      if (it->dueNanos <= now) {
+        dueHeld.push_back(std::move(*it));
+        it = heldAcks_.erase(it);
+      } else {
+        fold(it->dueNanos);
+        ++it;
+      }
+    }
+  }
+  for (auto& r : resend) fabric_.send(r.dest, std::move(r.msg));
+  for (std::size_t i = 0; i < toDrop.size(); ++i)
+    releaseChainAcks(toDrop[i].first, toDrop[i].second,
+                     std::move(dropReleases[i]));
+  for (auto& h : dueHeld)
+    releaseChainAcks(h.shard, h.epoch, std::move(h.acks));
+  return nextDue;
+}
+
+void Worker::dropChainLocked(
+    ShardId shard, std::vector<std::shared_ptr<DeferredAck>>& release) {
+  auto it = chains_.find(shard);
+  if (it == chains_.end()) return;
+  ChainState& cs = it->second;
+  for (auto& [idx, e] : cs.window)
+    for (auto& d : e.clientAcks)
+      if (d->remaining > 0 && --d->remaining == 0) release.push_back(d);
+  if (!cs.window.empty()) replAbandoned_.inc(cs.window.size());
+  // Fire-and-forget membership notices: former members drop their mirror
+  // state (a lost notice is repaired by the next append/reconfig).
+  for (std::size_t i = 1; i < cs.chain.size(); ++i)
+    fabric_.send(workerEndpoint(cs.chain[i]),
+                 makeMessage(Op::kReplReconfig, 0, workerEndpoint(id_),
+                             ReplReconfig{shard, {id_}}.encode()));
+  std::vector<std::uint64_t> seedCorrs;
+  for (const auto& [corr, ps] : pendingSeeds_)
+    if (ps.shard == shard) seedCorrs.push_back(corr);
+  if (!seedCorrs.empty()) {
+    for (std::uint64_t corr : seedCorrs) pendingSeeds_.erase(corr);
+    std::lock_guard rlock(retryMu_);  // replMu_ -> retryMu_ is in order
+    for (std::uint64_t corr : seedCorrs) retryMap_.erase(corr);
+  }
+  chains_.erase(it);
+  chainsActive_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Worker::dropChain(ShardId shard) {
+  std::vector<std::shared_ptr<DeferredAck>> release;
+  std::uint64_t epoch = 0;
+  {
+    std::lock_guard lock(replMu_);
+    auto it = chains_.find(shard);
+    if (it == chains_.end()) return;
+    epoch = it->second.epoch;
+    dropChainLocked(shard, release);
+  }
+  releaseChainAcks(shard, epoch, std::move(release));
+}
+
+bool Worker::clearChainInImage(ShardId shard, std::uint64_t epoch) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    auto cur = zk_.get(shardPath(shard));
+    if (!cur.has_value()) return true;  // nothing anyone could promote from
+    ShardInfo stored;
+    try {
+      ByteReader r(cur->data);
+      stored = ShardInfo::deserialize(r);
+    } catch (const DeserializeError&) {
+      return false;
+    }
+    if (stored.replicas.empty()) return true;  // no promotion candidates
+    if (stored.epoch > epoch || stored.worker != id_) {
+      // The image moved past this chain (promotion or re-hosting already
+      // committed). Releasing is NOT provably safe — hold until the new
+      // state settles (the next sweep re-evaluates).
+      return false;
+    }
+    stored.replicas.clear();
+    ByteWriter out;
+    stored.serialize(out);
+    if (zk_.set(shardPath(shard), out.take(), cur->version).has_value())
+      return true;
+  }
+  return false;  // persistent CAS contention: retry later
+}
+
+void Worker::releaseChainAcks(ShardId shard, std::uint64_t epoch,
+                              std::vector<std::shared_ptr<DeferredAck>> acks) {
+  if (acks.empty()) return;
+  if (clearChainInImage(shard, epoch)) {
+    for (auto& d : acks) completeDeferred(d);
+    return;
+  }
+  std::lock_guard lock(replMu_);
+  heldAcks_.push_back(
+      {shard, epoch, std::move(acks),
+       nowNanos() + retryDelayNanos(cfg_.transferRetry, 1, replRng_)});
+}
+
+void Worker::replSeedFailed(std::uint64_t corr) {
+  ShardId shard = 0;
+  {
+    std::lock_guard lock(replMu_);
+    auto it = pendingSeeds_.find(corr);
+    if (it == pendingSeeds_.end()) return;
+    shard = it->second.shard;
+    pendingSeeds_.erase(it);
+  }
+  dropChain(shard);
+}
+
+void Worker::handleReplSeed(const Message& m) {
+  ReplSeed seed;
+  try {
+    seed = ReplSeed::decode(m.payload);
+  } catch (const DeserializeError&) {
+    return;
+  }
+  {
+    std::lock_guard lock(slotsMu_);
+    Slot* slot = findSlot(seed.shard);
+    if (slot != nullptr && slot->shard && slot->movedTo == kNoWorker)
+      return;  // we host this shard live; refusing to also mirror it
+  }
+  std::shared_ptr<Shard> tree;
+  std::vector<std::pair<Hyperplane, ShardId>> splits;
+  try {
+    if (!seed.checkpoint.empty()) {
+      const TransferShard ckpt = TransferShard::decode(seed.checkpoint);
+      tree = deserializeShard(schema_, ckpt.blob);
+      splits = ckpt.splits;
+    } else {
+      tree = makeShard(ShardKind::kHilbertPdcMds, schema_);
+    }
+  } catch (const DeserializeError&) {
+    return;  // corrupt seed; the primary's retransmission re-sends it
+  }
+  // CRC-framed dedup tail: a torn or corrupted tail truncates to the
+  // intact prefix (the data itself rides the checkpoint; this only narrows
+  // the replay-dedup window).
+  WalSegmentOpen seg = openWalSegment(seed.segment);
+  {
+    std::lock_guard lock(replMu_);
+    auto it = replicaShards_.find(seed.shard);
+    const bool dup = it != replicaShards_.end() &&
+                     it->second.epoch == seed.epoch &&
+                     it->second.lastApplied >= seed.startIndex;
+    if (!dup) {
+      if (it != replicaShards_.end() && it->second.epoch > seed.epoch) {
+        fencedOps_.inc();  // stale seed from a fenced chain: never ack
+        return;
+      }
+      ReplicaShard rs;
+      rs.shard = std::move(tree);
+      rs.chain = seed.chain;
+      rs.epoch = seed.epoch;
+      rs.lastApplied = seed.startIndex;
+      rs.splits = std::move(splits);
+      for (auto& rec : seg.records) {
+        rec.items.clear();  // identity only; the data is in the checkpoint
+        rs.log.push_back(std::move(rec));
+      }
+      while (rs.log.size() > kReplLogCap) rs.log.pop_front();
+      rs.lastAppendNanos = nowNanos();
+      replicaShards_[seed.shard] = std::move(rs);
+      replSeeded_.inc();
+    }
+  }
+  fabric_.send(m.from,
+               makeMessage(Op::kReplSeedAck, m.corr, workerEndpoint(id_),
+                           ReplSeedAck{seed.shard, seed.startIndex}.encode()));
+}
+
+void Worker::handleReplSeedAck(const Message& m) {
+  {
+    std::lock_guard lock(retryMu_);
+    retryMap_.erase(m.corr);  // stop retransmitting the seed
+  }
+  std::lock_guard lock(replMu_);
+  auto it = pendingSeeds_.find(m.corr);
+  if (it == pendingSeeds_.end()) return;  // duplicate ack
+  auto cit = chains_.find(it->second.shard);
+  if (cit != chains_.end()) cit->second.seeded.insert(it->second.member);
+  pendingSeeds_.erase(it);
+}
+
+void Worker::handleReplReconfig(const Message& m) {
+  ReplReconfig req;
+  try {
+    req = ReplReconfig::decode(m.payload);
+  } catch (const DeserializeError&) {
+    return;
+  }
+  const bool fromManager = m.corr != 0;
+  auto report = [&](bool ok, ShardInfo info) {
+    if (!fromManager) return;
+    RecoverDone done;
+    done.ok = ok;
+    done.info = std::move(info);
+    fabric_.send(m.from, makeMessage(Op::kReplReconfigAck, m.corr,
+                                     workerEndpoint(id_), done.encode()));
+  };
+  const bool amPrimary = !req.chain.empty() && req.chain[0] == id_;
+  if (!amPrimary) {
+    bool member = false;
+    for (WorkerId w : req.chain) member |= w == id_;
+    if (!member) {
+      // Removed from the chain: drop the mirror. (Members keep their
+      // state — fresh membership arrives with every append.)
+      std::lock_guard lock(replMu_);
+      replicaShards_.erase(req.shard);
+    }
+    report(false, {});
+    return;
+  }
+  if (durable_ == nullptr) {
+    report(false, {});  // chains replicate the WAL; no WAL, no chain
+    return;
+  }
+  Blob checkpoint;
+  Blob segment;
+  std::uint64_t epoch = 0;
+  ShardInfo info;
+  bool haveSlot = false;
+  bool hadOld = false;
+  std::uint64_t oldEpoch = 0;
+  std::vector<std::shared_ptr<DeferredAck>> release;
+  struct SeedSend {
+    WorkerId member = kNoWorker;
+    std::uint64_t corr = 0;
+  };
+  std::vector<SeedSend> seeds;
+  {
+    std::lock_guard lock(slotsMu_);
+    Slot* slot = findSlot(req.shard);
+    if (slot != nullptr && !slot->busy && slot->movedTo == kNoWorker &&
+        slot->shard) {
+      haveSlot = true;
+      // Drain in-flight inserts: every applied record either completed
+      // its replicateRecord (entry in the OLD chain, data in this
+      // snapshot) or never saw a chain — the snapshot plus appends with
+      // logIndex >= 1 on the new chain is exactly-once by construction.
+      drainInserts(*slot->activeInserts);
+      TransferShard snap;
+      snap.shard = req.shard;
+      snap.epoch = slot->epoch;
+      snap.blob = slot->shard->serializeShard();
+      snap.splits = slot->splits;
+      checkpoint = snap.encode();
+      std::vector<WalRecord> tail = durable_->dedupTail(req.shard);
+      for (auto& rec : tail) rec.items.clear();
+      segment = encodeWalSegment(tail);
+      epoch = slot->epoch;
+      info = {req.shard, id_, slot->shard->size(), epoch,
+              slot->shard->boundingMds()};
+      std::lock_guard rlock(replMu_);
+      auto old = chains_.find(req.shard);
+      if (old != chains_.end()) {
+        hadOld = true;
+        oldEpoch = old->second.epoch;
+        dropChainLocked(req.shard, release);
+      }
+      if (req.chain.size() >= 2) {
+        ChainState cs;
+        cs.chain = req.chain;
+        cs.epoch = epoch;
+        cs.nextIndex = 1;
+        chains_.emplace(req.shard, std::move(cs));
+        chainsActive_.fetch_add(1, std::memory_order_acq_rel);
+        for (std::size_t i = 1; i < req.chain.size(); ++i) {
+          const std::uint64_t corr = nextCorr_.fetch_add(1);
+          pendingSeeds_[corr] = {req.shard, req.chain[i]};
+          seeds.push_back({req.chain[i], corr});
+        }
+        info.replicas.assign(req.chain.begin() + 1, req.chain.end());
+      }
+    }
+  }
+  if (hadOld) releaseChainAcks(req.shard, oldEpoch, std::move(release));
+  if (!haveSlot) {
+    report(false, {});
+    return;
+  }
+  const Blob seedPayload =
+      ReplSeed{req.shard, epoch, 0, req.chain, checkpoint, segment}.encode();
+  for (const auto& s : seeds)
+    sendWithRetry(workerEndpoint(s.member), Op::kReplSeed, s.corr,
+                  seedPayload, req.shard);
+  report(true, std::move(info));
+}
+
+void Worker::handleReplPromote(const Message& m) {
+  RecoverDone done;
+  auto report = [&] {
+    fabric_.send(m.from, makeMessage(Op::kReplPromoteAck, m.corr,
+                                     workerEndpoint(id_), done.encode()));
+  };
+  ReplPromote req;
+  try {
+    req = ReplPromote::decode(m.payload);
+  } catch (const DeserializeError&) {
+    report();  // ok = false
+    return;
+  }
+  {
+    std::lock_guard lock(slotsMu_);
+    Slot* existing = findSlot(req.shard);
+    if (existing != nullptr && existing->shard &&
+        existing->movedTo == kNoWorker && existing->epoch >= req.epoch) {
+      // Duplicate promote (our ack was lost): re-report the live slot.
+      done.ok = true;
+      done.info = {req.shard, id_,
+                   existing->shard->size() +
+                       (existing->queue ? existing->queue->size() : 0),
+                   existing->epoch, existing->shard->boundingMds()};
+      report();
+      return;
+    }
+  }
+  ReplicaShard rs;
+  {
+    std::lock_guard lock(replMu_);
+    auto it = replicaShards_.find(req.shard);
+    if (it == replicaShards_.end() || !it->second.shard) {
+      report();  // ok = false: the supervisor falls back to cold recovery
+      return;
+    }
+    rs = std::move(it->second);
+    replicaShards_.erase(it);
+  }
+  // Stashed gaps and relay windows die here: nothing in them was ever
+  // client-acked (the tail never confirmed past rs.lastApplied before the
+  // primary died), so the senders' retransmissions re-apply them against
+  // the promoted slot — exactly-once via the replay cache seeded below.
+  {
+    std::lock_guard lock(dedupMu_);
+    for (const auto& rec : rs.log) {
+      if (rec.corr == 0) continue;
+      Blob ack = rec.ackPayload;
+      if (rec.ackOp == static_cast<std::uint16_t>(Op::kWInsertAck))
+        ack = WInsertAckInfo{req.shard, req.epoch}.encode();
+      replay_.remember(rec.from, rec.corr, rec.ackOp, std::move(ack));
+    }
+  }
+  {
+    std::lock_guard lock(slotsMu_);
+    Slot slot;
+    slot.shard = rs.shard;
+    slot.splits = rs.splits;
+    slot.epoch = req.epoch;
+    // The promotion checkpoint claims WAL ownership under the new epoch.
+    // Failure means the supervisor re-fenced past us: stand down.
+    if (durable_ != nullptr && !checkpointSlotLocked(req.shard, slot)) {
+      fencedOps_.inc();
+      report();  // ok = false
+      return;
+    }
+    done.info = {req.shard, id_, rs.shard->size(), req.epoch,
+                 rs.shard->boundingMds()};
+    slots_[req.shard] = std::move(slot);
+  }
+  done.ok = true;
+  report();
 }
 
 // ---- statistics -------------------------------------------------------------
@@ -1247,6 +2133,17 @@ void Worker::pushStats() {
       info.epoch = slot.epoch;
       info.box = slot.shard->boundingMds();
       shardInfos.emplace_back(id, std::move(info));
+    }
+  }
+  {
+    // The hosting primary is authoritative for chain membership: publish
+    // the current successor list (empty = unreplicated) with each push.
+    std::lock_guard lock(replMu_);
+    for (auto& [id, info] : shardInfos) {
+      auto it = chains_.find(id);
+      if (it != chains_.end() && it->second.chain.size() >= 2)
+        info.replicas.assign(it->second.chain.begin() + 1,
+                             it->second.chain.end());
     }
   }
   ByteWriter w;
@@ -1285,8 +2182,11 @@ void Worker::pushStats() {
         break;
       }
       // The owning worker's count is authoritative; the box only grows.
+      // So is its chain view: replicas reflect what this primary actually
+      // forwards to, not what the manager last requested.
       stored.mergeFrom(schema_, info, /*takeLocation=*/false,
                        /*takeCount=*/true);
+      stored.replicas = info.replicas;
       ByteWriter out;
       stored.serialize(out);
       if (zk_.set(shardPath(id), out.take(), cur->version).has_value())

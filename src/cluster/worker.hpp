@@ -41,6 +41,7 @@
 #include "common/wal.hpp"
 #include "keeper/keeper.hpp"
 #include "net/fabric.hpp"
+#include "repl/repl.hpp"
 #include "tree/shard.hpp"
 
 namespace volap {
@@ -55,6 +56,11 @@ struct WorkerConfig {
   /// Retry budget for worker-to-worker traffic (shard transfers, queued
   /// migration items, forwarded bulk batches).
   RetryPolicy transferRetry{100'000'000, 1'000'000'000, 10'000'000, 1.6, 6};
+  /// Replica-read staleness bound: a replica serves a query from its local
+  /// copy only if its chain feed is contiguous and the last applied entry's
+  /// forward->apply lag is within this budget; otherwise it bounces the
+  /// shard back to the primary (WQueryReply::redirect).
+  std::uint64_t replicaReadStalenessNanos = 250'000'000;
 };
 
 class Worker {
@@ -106,6 +112,24 @@ class Worker {
   /// Shards restored onto this worker via kRecoverShard.
   std::uint64_t shardsRecovered() const { return recovered_.value(); }
   std::uint64_t checkpointsTaken() const { return checkpoints_.value(); }
+
+  // Replication counters.
+  /// Appends this primary forwarded down a chain.
+  std::uint64_t replAppendsForwarded() const {
+    return replForwarded_.value();
+  }
+  /// Appends this worker applied as a chain replica.
+  std::uint64_t replAppendsApplied() const { return replApplied_.value(); }
+  /// Chains torn down because the successor stopped acking.
+  std::uint64_t replAppendsAbandoned() const {
+    return replAbandoned_.value();
+  }
+  /// Queries served from a local replica copy.
+  std::uint64_t replReads() const { return replReads_.value(); }
+  /// Replica states installed from a kReplSeed.
+  std::uint64_t replSeeds() const { return replSeeded_.value(); }
+  /// Shards this worker currently mirrors as a replica.
+  std::size_t replicaShardCount() const;
 
   /// This worker's metrics registry (scraped via kStats).
   MetricsRegistry& metrics() { return metrics_; }
@@ -172,6 +196,55 @@ class Worker {
   void handleRecoverShard(const Message& m);
   void pushStats();
 
+  // ---- replication (chain state under replMu_; lock order: slotsMu_ may
+  // be held when taking replMu_, never the reverse) ----
+  /// Primary side: if `shard` has an active chain, assign the record a log
+  /// index, forward it to the first successor, and park the client ack
+  /// until the tail confirms. Returns true when the ack was deferred (the
+  /// caller must NOT completeRequest; the in-flight marker stays so
+  /// retransmissions keep deduping). `ack`'s remaining count is incremented
+  /// per deferred target by this call.
+  bool replicateRecord(ShardId shard, std::uint64_t epoch, WalRecord rec,
+                       const std::shared_ptr<DeferredAck>& ack,
+                       std::vector<TraceHop>* hops);
+  void handleReplAppend(const Message& m);
+  void handleReplAck(const Message& m);
+  void handleReplSeed(const Message& m);
+  void handleReplSeedAck(const Message& m);
+  void handleReplReconfig(const Message& m);
+  void handleReplPromote(const Message& m);
+  /// Retransmit overdue chain appends; tear down chains whose successor
+  /// exhausted the budget. Returns the earliest due time (0 if none).
+  std::uint64_t sweepReplication();
+  /// Tear down the primary-side chain for `shard`, releasing every parked
+  /// client ack (safe: entries are locally applied and WAL-durable) and
+  /// notifying former members. Caller holds replMu_. Acks to release are
+  /// appended to `release` for sending outside the lock.
+  void dropChainLocked(ShardId shard,
+                       std::vector<std::shared_ptr<DeferredAck>>& release);
+  /// Convenience wrapper: lock replMu_, drop, then run the gated release.
+  void dropChain(ShardId shard);
+  /// Gated release of acks parked on a torn-down chain. Releasing an ack
+  /// whose entry never reached the tail is only safe once no one can
+  /// promote a stale chain member: the gate CAS-clears `replicas` in the
+  /// keeper image first (the manager's promotion path CAS-bumps the same
+  /// znode, so exactly one of the two wins). If the gate cannot conclude
+  /// yet, the acks are parked in heldAcks_ and retried by
+  /// sweepReplication.
+  void releaseChainAcks(ShardId shard, std::uint64_t epoch,
+                        std::vector<std::shared_ptr<DeferredAck>> acks);
+  /// The gate itself: true when it is now safe to release (image entry
+  /// absent, replicas already empty, epoch moved past `epoch` — servers
+  /// reject stale-epoch insert acks — or our CAS cleared the replicas).
+  bool clearChainInImage(ShardId shard, std::uint64_t epoch);
+  /// A kReplSeed retransmission budget ran out: remove the member from the
+  /// chain (drop the whole chain — a partial chain would under-replicate
+  /// silently).
+  void replSeedFailed(std::uint64_t corr);
+  /// Complete a deferred client ack whose last tail confirmation arrived:
+  /// clears the in-flight marker, seeds the replay cache, sends the ack.
+  void completeDeferred(const std::shared_ptr<DeferredAck>& d);
+
   /// Serialize every idle slot into the durable store, truncating its WAL.
   /// Holds slotsMu_ and drains in-flight inserts per slot so the checkpoint
   /// covers exactly the records it truncates.
@@ -231,6 +304,33 @@ class Worker {
   std::map<ShardId, Slot> slots_;
   std::map<ShardId, PendingMigration> pendingMigrations_;
 
+  /// Chain replication state. Primary-side chains for hosted shards, the
+  /// replica copies this worker mirrors for other primaries, and seeds in
+  /// flight (corr -> which member a kReplSeed is catching up).
+  mutable std::mutex replMu_;
+  std::map<ShardId, ChainState> chains_;
+  std::map<ShardId, ReplicaShard> replicaShards_;
+  struct PendingSeed {
+    ShardId shard = 0;
+    WorkerId member = kNoWorker;
+  };
+  std::unordered_map<std::uint64_t, PendingSeed> pendingSeeds_;
+  /// Parked ack releases whose image gate has not concluded yet (see
+  /// releaseChainAcks). Swept alongside the retransmit windows.
+  struct HeldRelease {
+    ShardId shard = 0;
+    std::uint64_t epoch = 0;
+    std::vector<std::shared_ptr<DeferredAck>> acks;
+    std::uint64_t dueNanos = 0;
+  };
+  std::vector<HeldRelease> heldAcks_;
+  /// Number of live primary-side chains. Lets the ingest hot path skip the
+  /// replication branch (and the extra WalRecord copy it needs) entirely
+  /// when nothing on this worker is replicated — the R=1 configuration
+  /// costs one relaxed atomic load per request.
+  std::atomic<std::uint32_t> chainsActive_{0};
+  Rng replRng_;  // guarded by replMu_ (retry jitter for chain appends)
+
   std::mutex dedupMu_;
   DedupCache replay_;
   std::unordered_set<std::string> inFlightMsgs_;
@@ -256,6 +356,12 @@ class Worker {
   Counter& fencedShards_;
   Counter& recovered_;
   Counter& checkpoints_;
+  Counter& replForwarded_;
+  Counter& replApplied_;
+  Counter& replAbandoned_;
+  Counter& replReads_;
+  Counter& replSeeded_;
+  AtomicHistogram& replLagNs_;
   /// Stage timings, recorded per request/batch (not per item, so the
   /// ingest hot path pays clock reads only at batch granularity).
   AtomicHistogram& walAppendNs_;

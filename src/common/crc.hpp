@@ -1,0 +1,41 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) over byte ranges. Used to
+// frame WAL segment records so a torn or bit-flipped tail is detected on
+// open and truncated to the last intact record instead of poisoning a
+// replay or a replica seed.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace volap {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 of `n` bytes at `p`. `seed` chains partial computations: pass a
+/// previous call's return value to continue where it left off.
+inline std::uint32_t crc32(const void* p, std::size_t n,
+                           std::uint32_t seed = 0) {
+  const auto& table = detail::crc32Table();
+  const auto* bytes = static_cast<const std::uint8_t*>(p);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace volap

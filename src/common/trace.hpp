@@ -35,6 +35,9 @@ enum class TraceStage : std::uint16_t {
   kWorkerScanned = 8,  // shard scan(s) finished
   kServerAck = 9,    // server observed the worker ack
   kServerMerged = 10,  // query merge complete, reply sent to client
+  kReplForward = 11,   // primary forwarded the append down its chain
+  kReplApplied = 12,   // a replica applied the append to WAL + tree
+  kReplTailAck = 13,   // tail ack reached the primary; client ack released
 };
 
 inline const char* traceStageName(TraceStage s) {
@@ -50,6 +53,9 @@ inline const char* traceStageName(TraceStage s) {
     case TraceStage::kWorkerScanned: return "worker_scanned";
     case TraceStage::kServerAck: return "server_ack";
     case TraceStage::kServerMerged: return "server_merged";
+    case TraceStage::kReplForward: return "repl_forward";
+    case TraceStage::kReplApplied: return "repl_applied";
+    case TraceStage::kReplTailAck: return "repl_tail_ack";
   }
   return "unknown";
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc.hpp"
 #include "common/serialize.hpp"
 
 namespace volap {
@@ -51,6 +52,62 @@ struct WalRecord {
     return rec;
   }
 };
+
+/// Encode a run of WAL records as a self-checking segment: each record is
+/// framed as [u32 length][u32 crc32][record bytes]. A reader can detect a
+/// torn tail (partial final frame) or a bit-flipped record and recover the
+/// longest intact prefix — the property a replica seed or an on-disk log
+/// needs that the raw concatenation of records lacks.
+inline Blob encodeWalSegment(const std::vector<WalRecord>& recs) {
+  ByteWriter w;
+  for (const auto& rec : recs) {
+    ByteWriter body;
+    rec.serialize(body);
+    w.u32(static_cast<std::uint32_t>(body.size()));
+    w.u32(crc32(body.data().data(), body.size()));
+    w.raw(body.data().data(), body.size());
+  }
+  return w.take();
+}
+
+/// Result of opening a WAL segment: the intact record prefix, plus how the
+/// scan ended. `torn` is true when the segment did not end cleanly — a
+/// partial final frame (e.g. a crash mid-appendGroup) or a CRC mismatch —
+/// and `droppedBytes` counts what was truncated.
+struct WalSegmentOpen {
+  std::vector<WalRecord> records;
+  std::size_t droppedBytes = 0;
+  bool torn = false;
+};
+
+/// Scan a segment produced by encodeWalSegment, stopping at the first
+/// incomplete or corrupt frame. Never throws: whatever bytes follow the
+/// last intact record are reported as dropped, so open-after-crash always
+/// yields a usable (possibly shorter) log.
+inline WalSegmentOpen openWalSegment(const Blob& segment) {
+  WalSegmentOpen out;
+  std::size_t pos = 0;
+  const std::size_t n = segment.size();
+  while (pos < n) {
+    if (n - pos < 8) break;  // torn header
+    std::uint32_t len = 0, crc = 0;
+    std::memcpy(&len, segment.data() + pos, 4);
+    std::memcpy(&crc, segment.data() + pos + 4, 4);
+    if (n - pos - 8 < len) break;  // torn body
+    const std::uint8_t* body = segment.data() + pos + 8;
+    if (crc32(body, len) != crc) break;  // bit rot or mid-frame overwrite
+    try {
+      ByteReader r(std::span<const std::uint8_t>(body, len));
+      out.records.push_back(WalRecord::deserialize(r));
+    } catch (const DeserializeError&) {
+      break;  // CRC collided with garbage; still truncate here
+    }
+    pos += 8 + len;
+  }
+  out.droppedBytes = n - pos;
+  out.torn = out.droppedBytes != 0;
+  return out;
+}
 
 /// The durable view of one shard at the moment it was fenced.
 struct DurableSnapshot {

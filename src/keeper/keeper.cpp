@@ -232,6 +232,10 @@ KeeperClient::KeeperClient(Fabric& fabric, const std::string& owner,
 }
 
 Message KeeperClient::rpc(KeeperOp op, Blob payload) {
+  // One exchange at a time: a concurrent caller would consume this call's
+  // reply off the shared mailbox and drop it as stale (see class comment).
+  std::lock_guard lock(mu_);
+
   Message dead;
   dead.payload = {static_cast<std::uint8_t>(KeeperStatus::kNoNode)};
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -107,6 +108,12 @@ class KeeperServer {
 /// same way callers already handle NoNode. Redelivered requests are safe:
 /// the ops are either idempotent (get/children/exists/delete) or guarded by
 /// caller-side CAS loops (set with version, create-else-set).
+///
+/// Thread-safe: calls from different threads are serialized internally.
+/// With one shared reply mailbox, two concurrent request/reply exchanges
+/// would steal (and drop) each other's replies and both would burn their
+/// full retry budgets — worker event loops share one client between the
+/// heartbeat push and pool-thread chain teardowns, so this matters.
 class KeeperClient {
  public:
   KeeperClient(Fabric& fabric, const std::string& owner,
@@ -143,6 +150,7 @@ class KeeperClient {
   Fabric& fabric_;
   std::string watchEndpoint_;
   std::shared_ptr<Mailbox> reply_;
+  std::mutex mu_;  // one request/reply exchange in flight at a time
   std::uint64_t nextCorr_ = 1;
   RetryPolicy retry_;
   Rng rng_;

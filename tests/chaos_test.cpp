@@ -36,6 +36,7 @@ ClusterOptions chaosOptions() {
   opts.server.syncIntervalNanos = 100'000'000;  // 100ms
   opts.manager.periodNanos = 100'000'000;       // 100ms
   opts.manager.enabled = false;
+  opts.manager.replicationFactor = 1;  // chain failover: failover_test
   opts.clientRetry = {40'000'000, 400'000'000, 10'000'000, 1.6, 12};
   opts.server.workerRetry = {25'000'000, 250'000'000, 5'000'000, 1.6, 6};
   opts.worker.transferRetry = {25'000'000, 250'000'000, 5'000'000, 1.6, 6};

@@ -30,6 +30,7 @@ ClusterOptions fastOptions() {
   opts.manager.periodNanos = 100'000'000;        // 100ms
   opts.manager.maxShardItems = 100'000;          // no splits unless asked
   opts.manager.enabled = false;                  // most tests: manual control
+  opts.manager.replicationFactor = 1;            // chains: failover_test
   return opts;
 }
 

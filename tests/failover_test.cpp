@@ -1,0 +1,322 @@
+// Chain-replication failover tests (src/repl/repl.hpp): every shard is
+// mirrored onto a chain of R workers; client acks wait for the chain tail,
+// so when the primary is hard-killed mid-stream the manager can PROMOTE a
+// caught-up replica in place (no checkpoint + WAL shipping) without losing
+// a single acked insert — even with message loss forcing retransmissions
+// to race the promotion. Killing a chain tail instead must trigger a chain
+// repair (a fresh member recruited in the background) while the primary
+// keeps serving. Replica-aware reads scatter query chunks across chain
+// members and stay exact: a stale replica redirects back to the primary,
+// and after a drain the tail-gated ack rule guarantees replicas hold every
+// acked item.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "cluster/stats.hpp"
+#include "common/clock.hpp"
+#include "net/fault.hpp"
+#include "olap/data_gen.hpp"
+#include "volap/volap.hpp"
+
+namespace volap {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Recovery-test timings plus chains: R = 2, fast heartbeats/checkpoints,
+/// balancing off (the recovery supervisor — and with it chain creation and
+/// repair — runs regardless), and client budgets generous enough to ride
+/// out a promotion under message loss.
+ClusterOptions failoverOptions() {
+  ClusterOptions opts;
+  opts.servers = 2;
+  opts.workers = 4;
+  opts.initialShardsPerWorker = 2;
+  opts.worker.threads = 2;
+  opts.worker.statsIntervalNanos = 40'000'000;       // 40ms heartbeats
+  opts.worker.checkpointIntervalNanos = 60'000'000;  // 60ms checkpoints
+  opts.server.syncIntervalNanos = 100'000'000;
+  opts.manager.periodNanos = 50'000'000;
+  opts.manager.enabled = false;  // no balancing; chains still form
+  opts.manager.replicationFactor = 2;
+  // Failure detection: wide enough that a worker busy seeding chains under
+  // a 70/30 stream does not get spuriously declared dead, tight enough to
+  // keep promotion MTTR well under a second.
+  opts.manager.aliveTimeoutNanos = 350'000'000;
+  opts.manager.deadGraceNanos = 250'000'000;
+  // A reconfig lost to a dying worker must not park that shard's chain
+  // repair for the default 10s lease; 3s still clears every transfer
+  // retry budget above (max ~1.3s) with margin.
+  opts.manager.opLeaseNanos = 3'000'000'000;
+  opts.clientRetry = {40'000'000, 400'000'000, 10'000'000, 1.6, 12};
+  opts.server.workerRetry = {15'000'000, 150'000'000, 5'000'000, 1.6, 4};
+  opts.worker.transferRetry = {25'000'000, 250'000'000, 5'000'000, 1.6, 6};
+  opts.net.seed = 5150;
+  return opts;
+}
+
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds deadline = 5000ms) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+/// The keeper image's current shard table.
+std::vector<ShardInfo> imageShards(VolapCluster& cluster) {
+  KeeperClient zk(cluster.fabric(), "chain-observer");
+  std::vector<ShardInfo> out;
+  const auto kids = zk.children(shardsPath());
+  if (!kids) return out;
+  for (const auto& name : *kids) {
+    const auto got = zk.get(shardsPath() + "/" + name);
+    if (!got) continue;
+    ByteReader r(got->data);
+    out.push_back(ShardInfo::deserialize(r));
+  }
+  return out;
+}
+
+/// True once every shard in the image has a published replica chain.
+bool allChained(VolapCluster& cluster, std::size_t expectShards) {
+  const auto shards = imageShards(cluster);
+  if (shards.size() < expectShards) return false;
+  for (const auto& s : shards)
+    if (s.replicas.empty()) return false;
+  return true;
+}
+
+TEST(Failover, PrimaryKillUnderMessageLossLosesNoAckedInsert) {
+  const Schema schema = Schema::tpcds();
+  VolapCluster cluster(schema, failoverOptions());
+  // Control cluster fed the identical stream, never crashed: the promoted
+  // cluster must end up answer-equivalent.
+  VolapCluster control(schema, failoverOptions());
+  auto client = cluster.makeClient("c0", 0);
+  auto ctl = control.makeClient("c0", 0);
+  DataGenerator gen(schema, 1066);
+  DataGenerator ctlGen(schema, 1066);
+  const int kN = 1600;
+  for (int i = 0; i < kN / 4; ++i) {
+    client->insert(gen.next());
+    ctl->insert(ctlGen.next());
+  }
+  // Wait for the supervisor to build (and seed) every chain, then push a
+  // warm phase through the chained shards: with every shard chained these
+  // inserts must forward, so the replicas hold real data before the kill.
+  ASSERT_TRUE(eventually([&] { return allChained(cluster, 8); }, 10000ms));
+  const int kWarm = 100;
+  for (int i = 0; i < kWarm; ++i) {
+    client->insert(gen.next());
+    ctl->insert(ctlGen.next());
+  }
+  std::uint64_t chainedBefore = 0;
+  for (unsigned w = 0; w < cluster.workerCount(); ++w)
+    chainedBefore += cluster.worker(w).replAppendsForwarded();
+  ASSERT_GT(chainedBefore, 0u);
+
+  // Message loss on both data legs AND between chain members: forwards,
+  // chain acks, and client acks all drop, so retransmissions are racing
+  // the promotion when the primary dies.
+  cluster.fabric().addFaultRule({"server/", "worker/", 0.15});
+  cluster.fabric().addFaultRule({"worker/", "server/", 0.15});
+  cluster.fabric().addFaultRule({"worker/", "worker/", 0.15});
+
+  // Pipelined 70/30-style stream with the kill landing mid-flight.
+  FaultPlan plan(cluster.fabric(),
+                 {{40ms, 0.0},
+                  {1ms, 0.0, FaultAction::kCrash, workerEndpoint(1),
+                   [&] { cluster.crashWorker(1); }}});
+  for (int i = 0; i < 200; ++i) {
+    client->insertAsync(gen.next());
+    ctl->insertAsync(ctlGen.next());
+    if (i % 10 == 9) client->queryAsync(QueryBox(schema));
+  }
+  plan.start();
+  ASSERT_TRUE(
+      eventually([&] { return cluster.worker(1).shardCount() == 0; }, 2000ms));
+
+  // Keep streaming straight through detection + promotion.
+  for (int i = kN / 4 + kWarm + 200; i < kN; ++i) {
+    client->insertAsync(gen.next());
+    ctl->insertAsync(ctlGen.next());
+  }
+  client->drain();
+  ctl->drain();
+  plan.stop();
+  cluster.fabric().clearFaultRules();
+  EXPECT_EQ(client->insertsAcked(), static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(client->insertsExpired(), 0u);
+
+  // The victim's shards come back by PROMOTION (a caught-up chain member
+  // claims them in place), not only by cold replay.
+  ASSERT_TRUE(eventually(
+      [&] { return cluster.manager().promotionsDone() >= 1; }, 10000ms));
+
+  // Exactly-once end to end: every acked insert present exactly once, so
+  // the recovered cluster answers like the control that never crashed.
+  // (Post-drain, the tail-gated ack rule makes replica reads exact too.)
+  ASSERT_TRUE(eventually(
+      [&] {
+        const QueryReply r = client->query(QueryBox(schema));
+        return !r.partial && r.agg.count == static_cast<std::uint64_t>(kN);
+      },
+      10000ms));
+  const QueryReply after = client->query(QueryBox(schema));
+  const QueryReply want = ctl->query(QueryBox(schema));
+  ASSERT_FALSE(after.partial);
+  ASSERT_FALSE(want.partial);
+  EXPECT_EQ(after.agg.count, want.agg.count);
+  EXPECT_NEAR(after.agg.sum, want.agg.sum,
+              1e-6 * (1.0 + std::abs(want.agg.sum)));
+}
+
+TEST(Failover, TailKillRepairsChainWithExactResults) {
+  const Schema schema = Schema::tpcds();
+  ClusterOptions opts = failoverOptions();
+  opts.workers = 3;
+  VolapCluster cluster(schema, opts);
+  auto client = cluster.makeClient("c0", 0);
+  DataGenerator gen(schema, 2077);
+  const int kBefore = 600;
+  const int kDuring = 600;
+  for (int i = 0; i < kBefore; ++i) client->insert(gen.next());
+  ASSERT_TRUE(eventually([&] { return allChained(cluster, 6); }, 10000ms));
+
+  // Pick a victim that is the TAIL of some other primary's chain (with
+  // R = 2 every replica is a tail). Its own primaries will promote; the
+  // chains it served as tail must be rebuilt with a fresh member.
+  WorkerId victim = kNoWorker;
+  for (const auto& s : imageShards(cluster)) {
+    if (!s.replicas.empty()) {
+      victim = s.replicas[0];
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoWorker);
+
+  cluster.fabric().addFaultRule({"server/", "worker/", 0.1});
+  cluster.fabric().addFaultRule({"worker/", "server/", 0.1});
+  FaultPlan plan(cluster.fabric(),
+                 {{30ms, 0.0},
+                  {1ms, 0.0, FaultAction::kCrash, workerEndpoint(victim),
+                   [&] { cluster.worker(victim).crash(); }}});
+  for (int i = 0; i < kDuring; ++i) {
+    client->insertAsync(gen.next());
+    if (i == 150) plan.start();
+    if (i % 10 == 9) client->queryAsync(QueryBox(schema));
+  }
+  client->drain();
+  plan.stop();
+  cluster.fabric().clearFaultRules();
+  EXPECT_EQ(client->insertsAcked(),
+            static_cast<std::uint64_t>(kBefore + kDuring));
+  EXPECT_EQ(client->insertsExpired(), 0u);
+
+  // Dead tails are replaced: the supervisor re-issues reconfigs until
+  // every chain is healthy again on live distinct workers.
+  ASSERT_TRUE(eventually(
+      [&] { return cluster.manager().chainRepairsDone() >= 1; }, 10000ms));
+  const auto imageHealed = [&] {
+    const auto shards = imageShards(cluster);
+    if (shards.size() < 6) return false;
+    for (const auto& s : shards) {
+      if (s.worker == victim) return false;
+      if (s.replicas.empty()) return false;
+      for (WorkerId rep : s.replicas)
+        if (rep == victim) return false;
+    }
+    return true;
+  };
+  if (!eventually(imageHealed, 15000ms)) {
+    std::string dump;
+    for (const auto& s : imageShards(cluster)) {
+      dump += "shard " + std::to_string(s.id) + " @w" +
+              std::to_string(s.worker) + " reps[";
+      for (WorkerId rep : s.replicas) dump += std::to_string(rep) + " ";
+      dump += "] epoch " + std::to_string(s.epoch) + "\n";
+    }
+    FAIL() << "image not healed (victim w" << victim << "):\n"
+           << dump << "manager: promotions="
+           << cluster.manager().promotionsDone()
+           << " repairs=" << cluster.manager().chainRepairsDone()
+           << " recoveries=" << cluster.manager().recoveriesDone()
+           << " timedOut=" << cluster.manager().opsTimedOut()
+           << " inFlight=" << cluster.manager().opsInFlight();
+  }
+
+  // Exactly-once again: the repaired + promoted cluster holds every acked
+  // insert exactly once.
+  ASSERT_TRUE(eventually(
+      [&] {
+        const QueryReply r = client->query(QueryBox(schema));
+        return !r.partial &&
+               r.agg.count == static_cast<std::uint64_t>(kBefore + kDuring);
+      },
+      10000ms));
+  EXPECT_EQ(cluster.totalItems(),
+            static_cast<std::uint64_t>(kBefore + kDuring));
+}
+
+TEST(Failover, ReplicaReadsServeExactAnswersOrRedirect) {
+  const Schema schema = Schema::tpcds();
+  VolapCluster cluster(schema, failoverOptions());
+  auto client = cluster.makeClient("c0", 0);
+  DataGenerator gen(schema, 31337);
+  const int kN = 800;
+  for (int i = 0; i < kN; ++i) client->insertAsync(gen.next());
+  client->drain();
+  ASSERT_TRUE(eventually([&] { return allChained(cluster, 8); }, 10000ms));
+  // Let the servers pick the published chains up through their watches.
+  ASSERT_TRUE(eventually([&] {
+    std::uint64_t reads = 0;
+    for (unsigned s = 0; s < cluster.serverCount(); ++s) {
+      const auto snap = cluster.server(s).metrics().snapshot();
+      if (const auto* c = snap.findCounter("server.replica_reads"))
+        reads += *c;
+    }
+    if (reads > 0) return true;
+    (void)client->query(QueryBox(schema));  // drive chunks at the chains
+    return false;
+  }, 10000ms));
+
+  // Post-drain the tail-gated ack rule makes every replica exact for all
+  // acked data: full-coverage answers must be perfect no matter which
+  // chain member served each chunk (stale ones redirect to the primary).
+  for (int i = 0; i < 20; ++i) {
+    const QueryReply r = client->query(QueryBox(schema));
+    ASSERT_FALSE(r.partial);
+    EXPECT_EQ(r.agg.count, static_cast<std::uint64_t>(kN));
+  }
+  std::uint64_t workerReplicaReads = 0;
+  for (unsigned w = 0; w < cluster.workerCount(); ++w)
+    workerReplicaReads += cluster.worker(w).replReads();
+  EXPECT_GT(workerReplicaReads, 0u);
+}
+
+TEST(Failover, ManagerStatsExposeReplicationContract) {
+  const Schema schema = Schema::tpcds();
+  VolapCluster cluster(schema, failoverOptions());
+  auto client = cluster.makeClient("c0", 0);
+  DataGenerator gen(schema, 11);
+  for (int i = 0; i < 200; ++i) client->insertAsync(gen.next());
+  client->drain();
+
+  const auto replies = scrapeStats(cluster.fabric(), {managerEndpoint()});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].node, managerEndpoint());
+  const auto missing =
+      missingMetrics(replies[0].snapshot, requiredManagerMetrics());
+  EXPECT_TRUE(missing.empty())
+      << "manager missing required metric: " << missing.front();
+}
+
+}  // namespace
+}  // namespace volap

@@ -45,6 +45,7 @@ ClusterOptions coalesceOptions() {
   opts.worker.statsIntervalNanos = 50'000'000;
   opts.server.syncIntervalNanos = 100'000'000;
   opts.manager.enabled = false;
+  opts.manager.replicationFactor = 1;
   opts.clientRetry = {60'000'000, 500'000'000, 10'000'000, 1.6, 12};
   opts.server.workerRetry = {25'000'000, 250'000'000, 5'000'000, 1.6, 6};
   opts.net.seed = 99;

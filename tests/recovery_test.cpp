@@ -38,6 +38,7 @@ ClusterOptions recoveryOptions() {
   opts.server.syncIntervalNanos = 100'000'000;
   opts.manager.periodNanos = 50'000'000;
   opts.manager.enabled = false;  // isolate recovery from balancing
+  opts.manager.replicationFactor = 1;  // cold-replay path (no chains)
   opts.manager.aliveTimeoutNanos = 250'000'000;
   opts.manager.deadGraceNanos = 150'000'000;
   opts.clientRetry = {40'000'000, 400'000'000, 10'000'000, 1.6, 12};

@@ -1,0 +1,156 @@
+// WAL segment hardening: the [len][crc][body] framing added for replica
+// seeds (and any future on-disk log) must survive torn tails. A segment
+// truncated at EVERY byte boundary opens to a valid prefix of intact
+// records, a corrupted tail record is detected bit-for-bit by the CRC and
+// truncated rather than replayed, and a clean segment round-trips exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/wal.hpp"
+
+namespace volap {
+namespace {
+
+std::vector<WalRecord> sampleRecords(std::size_t n) {
+  std::vector<WalRecord> recs;
+  for (std::size_t i = 0; i < n; ++i) {
+    WalRecord rec;
+    rec.from = "client/" + std::to_string(i % 3);
+    rec.corr = 1000 + i;
+    rec.ackOp = static_cast<std::uint16_t>(0x211);
+    rec.ackPayload = Blob{static_cast<std::uint8_t>(i), 0x7f, 0x00};
+    rec.items.assign(5 + i, static_cast<std::uint8_t>(0xa0 + i));
+    recs.push_back(std::move(rec));
+  }
+  return recs;
+}
+
+void expectRecordEq(const WalRecord& got, const WalRecord& want) {
+  EXPECT_EQ(got.from, want.from);
+  EXPECT_EQ(got.corr, want.corr);
+  EXPECT_EQ(got.ackOp, want.ackOp);
+  EXPECT_EQ(got.ackPayload, want.ackPayload);
+  EXPECT_EQ(got.items, want.items);
+}
+
+TEST(WalSegment, RoundTripsCleanSegment) {
+  const auto recs = sampleRecords(7);
+  const Blob seg = encodeWalSegment(recs);
+  const WalSegmentOpen open = openWalSegment(seg);
+  EXPECT_FALSE(open.torn);
+  EXPECT_EQ(open.droppedBytes, 0u);
+  ASSERT_EQ(open.records.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i)
+    expectRecordEq(open.records[i], recs[i]);
+}
+
+TEST(WalSegment, EmptySegmentOpensClean) {
+  const WalSegmentOpen open = openWalSegment(Blob{});
+  EXPECT_FALSE(open.torn);
+  EXPECT_TRUE(open.records.empty());
+}
+
+// Truncate the segment at every possible byte boundary — every prefix is a
+// possible crash image of a partial appendGroup. Each must open without
+// throwing, yield only intact records, and flag the tear unless the cut
+// landed exactly on a frame boundary.
+TEST(WalSegment, TruncationAtEveryByteYieldsValidPrefix) {
+  const auto recs = sampleRecords(5);
+  const Blob seg = encodeWalSegment(recs);
+  // Frame boundaries: offsets at which a cut is NOT a tear.
+  std::vector<std::size_t> boundaries{0};
+  {
+    std::size_t pos = 0;
+    for (const auto& rec : recs) {
+      ByteWriter body;
+      rec.serialize(body);
+      pos += 8 + body.size();
+      boundaries.push_back(pos);
+    }
+  }
+  for (std::size_t cut = 0; cut <= seg.size(); ++cut) {
+    const Blob prefix(seg.begin(), seg.begin() + cut);
+    const WalSegmentOpen open = openWalSegment(prefix);
+    // Count whole frames that fit in `cut` bytes.
+    std::size_t whole = 0;
+    while (whole + 1 < boundaries.size() && boundaries[whole + 1] <= cut)
+      ++whole;
+    ASSERT_EQ(open.records.size(), whole) << "cut at byte " << cut;
+    for (std::size_t i = 0; i < whole; ++i)
+      expectRecordEq(open.records[i], recs[i]);
+    const bool onBoundary = cut == boundaries[whole];
+    EXPECT_EQ(open.torn, !onBoundary) << "cut at byte " << cut;
+    EXPECT_EQ(open.droppedBytes, cut - boundaries[whole]);
+  }
+}
+
+// Flip every byte of the LAST record's frame (header and body) one at a
+// time: the CRC must catch each corruption and the open must fall back to
+// the first n-1 records. (A corrupted length field may instead present as
+// a torn frame — either way the intact prefix survives.)
+TEST(WalSegment, TailCorruptionIsDetectedByteByByte) {
+  const auto recs = sampleRecords(4);
+  const Blob seg = encodeWalSegment(recs);
+  std::size_t lastFrameStart = 0;
+  for (std::size_t i = 0; i + 1 < recs.size(); ++i) {
+    ByteWriter body;
+    recs[i].serialize(body);
+    lastFrameStart += 8 + body.size();
+  }
+  for (std::size_t i = lastFrameStart; i < seg.size(); ++i) {
+    for (std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0xff}}) {
+      Blob bad = seg;
+      bad[i] ^= flip;
+      const WalSegmentOpen open = openWalSegment(bad);
+      ASSERT_LE(open.records.size(), recs.size()) << "byte " << i;
+      // Either the corrupt tail record was dropped, or (only when the
+      // flipped byte never changed the decoded content — impossible here
+      // since every byte is load-bearing) it survived. Assert the strong
+      // form: the tail is gone and the prefix is intact.
+      ASSERT_EQ(open.records.size(), recs.size() - 1) << "byte " << i;
+      EXPECT_TRUE(open.torn) << "byte " << i;
+      for (std::size_t k = 0; k + 1 < recs.size(); ++k)
+        expectRecordEq(open.records[k], recs[k]);
+    }
+  }
+}
+
+// A mid-segment corruption truncates everything from that record on — the
+// scan never resynchronizes on garbage.
+TEST(WalSegment, MidSegmentCorruptionTruncatesSuffix) {
+  const auto recs = sampleRecords(6);
+  const Blob seg = encodeWalSegment(recs);
+  ByteWriter firstBody;
+  recs[0].serialize(firstBody);
+  const std::size_t secondFrame = 8 + firstBody.size();
+  Blob bad = seg;
+  bad[secondFrame + 8] ^= 0x40;  // first body byte of record 1
+  const WalSegmentOpen open = openWalSegment(bad);
+  ASSERT_EQ(open.records.size(), 1u);
+  expectRecordEq(open.records[0], recs[0]);
+  EXPECT_TRUE(open.torn);
+  EXPECT_EQ(open.droppedBytes, seg.size() - secondFrame);
+}
+
+// DurableLog::appendGroup is all-or-nothing against fencing; a crash while
+// the group is being framed into a segment shows up as a torn tail. Model
+// that: frame a group, tear it mid-record, and check the intact prefix
+// matches what a re-encode of the surviving records produces.
+TEST(WalSegment, PartialAppendGroupTruncatesToWholeRecords) {
+  const auto group = sampleRecords(8);
+  const Blob seg = encodeWalSegment(group);
+  const Blob torn(seg.begin(), seg.begin() + seg.size() - 3);
+  const WalSegmentOpen open = openWalSegment(torn);
+  EXPECT_TRUE(open.torn);
+  ASSERT_EQ(open.records.size(), group.size() - 1);
+  const Blob reencoded = encodeWalSegment(open.records);
+  const WalSegmentOpen reopened = openWalSegment(reencoded);
+  EXPECT_FALSE(reopened.torn);
+  ASSERT_EQ(reopened.records.size(), open.records.size());
+}
+
+}  // namespace
+}  // namespace volap
